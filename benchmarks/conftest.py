@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it
+to the terminal (bypassing capture so it is visible in a plain
+``pytest benchmarks/ --benchmark-only`` run) and archives it under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print a result table live and archive it under results/."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / (request.node.name + ".txt")
+        out.write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _report

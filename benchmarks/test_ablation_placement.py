@@ -1,0 +1,41 @@
+"""A5: does RPS-style prediction actually buy anything?
+
+A stream of jobs on a grid with one quiet and one heavily loaded host:
+the predictive metascheduler versus uniform-random placement.
+"""
+
+import math
+
+from repro.core.reporting import format_table
+from repro.experiments.placement_experiment import run_placement_ablation
+
+
+def test_ablation_placement(benchmark, report):
+    results = benchmark.pedantic(
+        run_placement_ablation,
+        kwargs={"jobs": 6, "job_seconds": 30.0, "busy_load": 3.0,
+                "seed": 0},
+        rounds=1, iterations=1)
+
+    rows = [[r.policy, r.jobs, "%.1f" % r.mean_wall,
+             "%d/%d" % (r.busy_host_placements, r.jobs),
+             "%.0f%%" % (100 * r.mean_prediction_error)
+             if not math.isnan(r.mean_prediction_error) else "n/a"]
+            for r in results]
+    report(format_table(
+        ["Policy", "Jobs", "Mean wall (s)", "Busy-host placements",
+         "Pred. error"],
+        rows,
+        title="A5: prediction-driven vs random VM placement"))
+
+    predictive = next(r for r in results if r.policy == "predictive")
+    random_policy = next(r for r in results if r.policy == "random")
+
+    # Prediction avoids the busy host entirely...
+    assert predictive.busy_host_placements == 0
+    # ... and the random baseline lands there at least once.
+    assert random_policy.busy_host_placements >= 1
+    # Mean job time improves substantially.
+    assert predictive.mean_wall < 0.8 * random_policy.mean_wall
+    # Forecasts are decent (within 30% on average).
+    assert predictive.mean_prediction_error < 0.3

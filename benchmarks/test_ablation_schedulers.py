@@ -1,0 +1,48 @@
+"""A2: enforcement-mechanism ablation (Section 3.2, resource control).
+
+One compiled owner policy — local work keeps half the machine, two grid
+VMs split the other half 3:1 — enforced by each mechanism the paper
+lists: processor-sharing group caps, a compiled periodic real-time
+schedule, lottery scheduling, weighted fair queueing, and coarse
+SIGSTOP/SIGCONT duty-cycling.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.ablations import MECHANISMS, run_scheduler_ablation
+
+
+def test_ablation_schedulers(benchmark, report):
+    rows = benchmark.pedantic(run_scheduler_ablation,
+                              kwargs={"duration": 400.0, "seed": 0},
+                              rounds=1, iterations=1)
+
+    table_rows = [[r.mechanism, r.vm, "%.3f" % r.target,
+                   "%.3f" % r.achieved, "%.3f" % r.error] for r in rows]
+    report(format_table(
+        ["Mechanism", "VM", "Target share", "Achieved", "Abs error"],
+        table_rows,
+        title="A2: owner-policy enforcement accuracy by mechanism"))
+
+    by_mechanism = {}
+    for row in rows:
+        by_mechanism.setdefault(row.mechanism, []).append(row)
+    assert set(by_mechanism) == set(MECHANISMS)
+
+    # Precise mechanisms: caps, periodic reservations, WFQ within 2%.
+    for mechanism in ("group-cap", "periodic", "wfq"):
+        for row in by_mechanism[mechanism]:
+            assert row.error < 0.02, (mechanism, row.vm, row.achieved)
+
+    # Lottery: probabilistically correct (within 5% over this horizon).
+    for row in by_mechanism["lottery"]:
+        assert row.error < 0.05
+
+    # SIGSTOP/SIGCONT is the crude one: it duty-cycles the VMM but
+    # cannot stop best-effort local load from stealing its windows, so
+    # it substantially under-delivers under contention — the reason the
+    # paper calls it only "a coarse-grain schedule".
+    sigstop_errors = [row.error for row in by_mechanism["sigstop"]]
+    precise_errors = [row.error for row in by_mechanism["wfq"]]
+    assert min(sigstop_errors) > 4 * max(max(precise_errors), 1e-3)
+    for row in by_mechanism["sigstop"]:
+        assert row.achieved < row.target  # under-delivers, never over

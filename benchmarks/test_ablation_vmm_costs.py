@@ -1,0 +1,42 @@
+"""A4: sensitivity of the VM overhead to trap-and-emulate costs.
+
+Section 2.3 argues the measured overheads are an artifact of the VMM
+implementation, reducible by "VM assists and in-memory network
+hyper-sockets".  Sweep the per-event emulation costs from 1/4x to 4x
+around the calibrated VMware-3.0a-era values and watch SPECclimate's
+overhead move with them.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.ablations import run_vmm_cost_sensitivity
+
+
+def test_ablation_vmm_costs(benchmark, report):
+    points = benchmark.pedantic(
+        run_vmm_cost_sensitivity,
+        kwargs={"multipliers": (0.25, 0.5, 1.0, 2.0, 4.0),
+                "scale": 0.25, "seed": 0},
+        rounds=1, iterations=1)
+
+    rows = [["%.2fx" % p.multiplier, "%.2f%%" % (100 * p.overhead)]
+            for p in points]
+    report(format_table(
+        ["Trap-cost multiplier", "SPECclimate VM overhead"],
+        rows,
+        title="A4: macro overhead vs per-event emulation cost"))
+
+    overheads = [p.overhead for p in points]
+    # Overhead grows monotonically with emulation cost.
+    assert overheads == sorted(overheads)
+    baseline = next(p for p in points if p.multiplier == 1.0)
+    quarter = next(p for p in points if p.multiplier == 0.25)
+    quadruple = next(p for p in points if p.multiplier == 4.0)
+    # The calibrated point sits at the paper's ~4%.
+    assert 0.03 < baseline.overhead < 0.05
+    # Optimized VMMs (assists) push it well under 2%...
+    assert quarter.overhead < 0.02
+    # ... and a clumsy VMM would show the >10% the paper warns about
+    # for system-heavy workloads.
+    assert quadruple.overhead > 0.10
+    # Near-proportional scaling: events x cost is the whole story.
+    assert quadruple.overhead / baseline.overhead > 3.0

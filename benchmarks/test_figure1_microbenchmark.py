@@ -1,0 +1,75 @@
+"""Figure 1: microbenchmark slowdown under background load.
+
+Regenerates the twelve bars — {none, light, heavy} background load x
+all four placements of the (load, test) tasks over the physical and the
+virtual machine — and checks the paper's takeaway: "independently of
+load, the test tasks see a typical slowdown of 10% or less when running
+on the virtual machine", i.e. the *virtualization-induced* slowdown
+(test-on-VM versus test-on-physical under the same load placement and
+comparable contention) stays under 10%.
+
+Where both the load and the test share the single 1-vCPU VM the guest
+time-slices them — a real effect of uniprocessor VMs that shows up as a
+larger absolute slowdown; see EXPERIMENTS.md for the discussion.
+"""
+
+import os
+
+from repro.core.reporting import format_table
+from repro.experiments.figure1 import results_by_key, run_figure1
+
+#: Paper fidelity knob: REPRO_FIGURE1_SAMPLES=1000 reruns the full study.
+_SAMPLES = int(os.environ.get("REPRO_FIGURE1_SAMPLES", "150"))
+
+
+def test_figure1_microbenchmark(benchmark, report):
+    results = benchmark.pedantic(
+        run_figure1, kwargs={"samples": _SAMPLES, "test_seconds": 3.0,
+                             "seed": 0},
+        rounds=1, iterations=1)
+
+    rows = [[r.load_level, r.test_on, r.load_on,
+             "%.3f" % r.mean_slowdown, "%.3f" % r.std_slowdown,
+             r.samples]
+            for r in results]
+    report(format_table(
+        ["Load", "Test on", "Load on", "Mean slowdown", "Std", "Samples"],
+        rows,
+        title="Figure 1: microbenchmark slowdown (12 scenarios)"))
+
+    indexed = results_by_key(results)
+
+    for load in ("none", "light", "heavy"):
+        # The paper's claim: moving the *test task* into the VM adds
+        # less than 10% slowdown, at every load level, when contention
+        # is otherwise comparable (load on the physical machine).
+        phys = indexed[(load, "physical", "physical")].mean_slowdown
+        virt = indexed[(load, "vm", "physical")].mean_slowdown
+        assert virt / phys < 1.10
+        assert virt >= phys  # virtualization never speeds things up
+
+    # No load: VM overhead alone, well under 10%.
+    base = indexed[("none", "physical", "physical")]
+    vm_idle = indexed[("none", "vm", "physical")]
+    assert base.mean_slowdown == 1.0
+    assert 1.0 < vm_idle.mean_slowdown < 1.02
+
+    # Slowdown grows with load level for every placement.
+    for placement in (("physical", "physical"), ("vm", "physical"),
+                      ("vm", "vm")):
+        none = indexed[("none",) + placement].mean_slowdown
+        light = indexed[("light",) + placement].mean_slowdown
+        heavy = indexed[("heavy",) + placement].mean_slowdown
+        assert none <= light + 1e-9
+        assert light <= heavy + 1e-9
+
+    # World switches: under heavy physical load the VM's extra slowdown
+    # is visible but small.
+    heavy_phys = indexed[("heavy", "physical", "physical")].mean_slowdown
+    heavy_vm = indexed[("heavy", "vm", "physical")].mean_slowdown
+    assert 1.0 < heavy_vm / heavy_phys < 1.05
+
+    # Guest context switches: load sharing the 1-vCPU guest with the
+    # test slows it far more than the same load outside the VM.
+    shared_guest = indexed[("heavy", "vm", "vm")].mean_slowdown
+    assert shared_guest > heavy_vm

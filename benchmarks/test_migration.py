@@ -1,0 +1,42 @@
+"""M1: migrating an entire computing environment (Sections 2.2/3.1/4).
+
+A full six-step session runs a two-minute computation; halfway through,
+the VM is suspended, its memory state and copy-on-write diff are staged
+across the WAN, and it resumes on a compute host at another site — with
+the guest's user-data mount still attached.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.migration_experiment import run_migration_experiment
+
+
+def test_migration(benchmark, report):
+    result = benchmark.pedantic(run_migration_experiment,
+                                kwargs={"app_seconds": 120.0,
+                                        "migrate_after": 40.0, "seed": 0},
+                                rounds=1, iterations=1)
+
+    report(format_table(
+        ["Metric", "Value"],
+        [
+            ["application CPU demand", "%.1f s" % result.app_seconds],
+            ["migration downtime", "%.1f s" % result.downtime],
+            ["completion (migrated)", "%.1f s" % result.completion_time],
+            ["completion (baseline)",
+             "%.1f s" % result.baseline_completion_time],
+            ["migration penalty", "%.1f s" % result.migration_penalty],
+            ["guest mounts preserved", str(result.mounts_preserved)],
+            ["final host", result.final_host],
+        ],
+        title="M1: mid-computation migration across sites"))
+
+    # The computation survives the move and lands on the other host.
+    assert result.final_host == "compute2"
+    assert result.mounts_preserved
+    # Work does not progress during downtime: the penalty is the
+    # downtime (within scheduling noise), no more, no less.
+    assert result.downtime > 0
+    assert abs(result.migration_penalty - result.downtime) < 2.0
+    # Downtime is dominated by shipping 128 MB over the 2.5 MB/s WAN
+    # (~54 s) plus checkpoint/restore disk I/O; it stays under 2 min.
+    assert 50.0 < result.downtime < 120.0

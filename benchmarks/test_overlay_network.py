@@ -1,0 +1,40 @@
+"""O1: the self-optimizing overlay among remote VMs (Section 3.3).
+
+Random multi-site topologies with policy-routing penalties on a subset
+of direct paths; the overlay measures pairwise latencies and relays
+through members when a detour beats the direct Internet path.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.overlay_experiment import run_overlay_experiment
+
+
+def test_overlay_network(benchmark, report):
+    trials = benchmark.pedantic(
+        run_overlay_experiment,
+        kwargs={"members": 6, "trials": 8, "penalty_probability": 0.3,
+                "seed": 0},
+        rounds=1, iterations=1)
+
+    rows = [[i, t.pairs, t.pairs_improved,
+             "%.0f%%" % (100 * t.improvement_fraction),
+             "%.1f" % (1e3 * t.mean_direct_latency),
+             "%.1f" % (1e3 * t.mean_overlay_latency),
+             "%.1f" % (1e3 * t.max_improvement)]
+            for i, t in enumerate(trials)]
+    report(format_table(
+        ["Trial", "Pairs", "Improved", "Frac", "Direct(ms)",
+         "Overlay(ms)", "Max saving(ms)"],
+        rows,
+        title="O1: overlay routing quality over random penalized WANs"))
+
+    # The overlay never does worse than the direct path...
+    for trial in trials:
+        assert trial.mean_overlay_latency \
+            <= trial.mean_direct_latency + 1e-9
+    # ... and with 30% of paths penalized it finds real detours.
+    assert sum(t.pairs_improved for t in trials) > 0
+    improved_trials = [t for t in trials if t.pairs_improved]
+    assert len(improved_trials) >= len(trials) // 2
+    # Where it improves, the saving is substantial (tens of ms).
+    assert max(t.max_improvement for t in trials) > 0.03

@@ -1,0 +1,78 @@
+"""Table 1: macrobenchmark results (SPECseis / SPECclimate).
+
+Regenerates the paper's Table 1 rows — user, system and total CPU times
+for each application on the physical machine, on a VM with state on
+local disk, and on a VM with state accessed via an NFS-based grid
+virtual file system (PVFS) across a WAN — and checks the paper's
+qualitative claims:
+
+* overheads are small (< 10%, in fact < 5%);
+* ordering: physical < VM/local < VM/PVFS;
+* SPECclimate's VM dilation (~4%) far exceeds SPECseis's (~1%), driven
+  by its page-fault rate;
+* sys time inflates much more than user time inside the VM.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.table1 import run_table1
+
+#: The paper's measured cells (user+sys seconds, overhead fraction).
+PAPER = {
+    ("SPECseis", "physical"): (16414, None),
+    ("SPECseis", "vm-localdisk"): (16617, 0.012),
+    ("SPECseis", "vm-pvfs"): (16750, 0.020),
+    ("SPECclimate", "physical"): (9307, None),
+    ("SPECclimate", "vm-localdisk"): (9679, 0.040),
+    ("SPECclimate", "vm-pvfs"): (9702, 0.042),
+}
+
+
+def test_table1_macrobenchmarks(benchmark, report):
+    rows = benchmark.pedantic(run_table1, kwargs={"scale": 1.0, "seed": 0},
+                              rounds=1, iterations=1)
+
+    table_rows = []
+    for row in rows:
+        paper_total, paper_overhead = PAPER[(row.application, row.resource)]
+        table_rows.append([
+            row.application,
+            row.resource,
+            "%.0f" % row.user_time,
+            "%.1f" % row.sys_time,
+            "%.0f" % row.total_time,
+            "%.2f%%" % (100 * row.overhead)
+            if row.overhead is not None else "N/A",
+            "%d" % paper_total,
+            "%.1f%%" % (100 * paper_overhead)
+            if paper_overhead is not None else "N/A",
+        ])
+    report(format_table(
+        ["Application", "Resource", "User(s)", "Sys(s)", "User+sys(s)",
+         "Overhead", "Paper total", "Paper ovh"],
+        table_rows,
+        title="Table 1: macrobenchmark results (measured vs paper)"))
+
+    indexed = {(r.application, r.resource): r for r in rows}
+    for app in ("SPECseis", "SPECclimate"):
+        physical = indexed[(app, "physical")]
+        local = indexed[(app, "vm-localdisk")]
+        pvfs = indexed[(app, "vm-pvfs")]
+        # Ordering and small magnitudes.
+        assert physical.total_time < local.total_time < pvfs.total_time
+        assert 0.0 < local.overhead < 0.05
+        assert local.overhead < pvfs.overhead < 0.06
+        # Sys inflates much more than user inside the VM.
+        assert local.sys_time > 2.5 * physical.sys_time
+        assert local.user_time / physical.user_time < 1.05
+        # PVFS costs extra sys (NFS client stack) but identical user.
+        assert pvfs.sys_time > local.sys_time
+
+    # The fault-rate mechanism: climate dilates ~4x more than seis.
+    seis_overhead = indexed[("SPECseis", "vm-localdisk")].overhead
+    climate_overhead = indexed[("SPECclimate", "vm-localdisk")].overhead
+    assert climate_overhead > 2.5 * seis_overhead
+
+    # Within-band versus the paper: every measured total within 2.5%.
+    for (app, resource), (paper_total, _po) in PAPER.items():
+        measured = indexed[(app, resource)].total_time
+        assert abs(measured - paper_total) / paper_total < 0.025

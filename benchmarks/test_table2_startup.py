@@ -1,0 +1,77 @@
+"""Table 2: VM startup times through globusrun.
+
+Regenerates mean/std/min/max startup latency for {VM-reboot, VM-restore}
+x {Persistent, Non-persistent DiskFS, Non-persistent LoopbackNFS} over
+ten samples, and checks the paper's claims:
+
+* the smallest startup is a non-persistent-disk restore on the native
+  file system (paper: 12.4 s mean; "the smallest observed startup
+  latency is 12 s");
+* explicit persistent copies push startup past four minutes;
+* NFS-accessed state stays below ~40 s for restores ("below 30 seconds
+  if the VM state is accessed via a low-latency NFS/RPC stack");
+* restore beats reboot in every storage mode.
+"""
+
+from repro.core.reporting import format_table
+from repro.experiments.table2 import rows_by_key, run_table2
+
+#: Paper means for each (start, storage) cell.
+PAPER = {
+    ("reboot", "persistent"): 273.0,
+    ("reboot", "nonpersistent-diskfs"): 69.2,
+    ("reboot", "nonpersistent-loopbacknfs"): 74.5,
+    ("restore", "persistent"): 269.0,
+    ("restore", "nonpersistent-diskfs"): 12.4,
+    ("restore", "nonpersistent-loopbacknfs"): 29.2,
+}
+
+
+def test_table2_startup(benchmark, report):
+    rows = benchmark.pedantic(run_table2, kwargs={"samples": 10, "seed": 0},
+                              rounds=1, iterations=1)
+
+    table_rows = [[r.start_mode, r.storage_mode, "%.1f" % r.mean,
+                   "%.1f" % r.std, "%.1f" % r.minimum, "%.1f" % r.maximum,
+                   "%.1f" % PAPER[(r.start_mode, r.storage_mode)]]
+                  for r in rows]
+    report(format_table(
+        ["Start", "Storage", "Mean(s)", "Std", "Min", "Max", "Paper mean"],
+        table_rows,
+        title="Table 2: VM startup times via globusrun (10 samples)"))
+
+    indexed = rows_by_key(rows)
+
+    # Fastest cell: non-persistent restore from the native FS, ~12 s.
+    fastest = min(rows, key=lambda r: r.mean)
+    assert fastest.start_mode == "restore"
+    assert fastest.storage_mode == "nonpersistent-diskfs"
+    assert 10.0 < fastest.mean < 20.0
+    assert fastest.minimum > 9.0  # paper's floor: "smallest ... is 12s"
+
+    # Persistent copies cost more than 4 minutes.
+    for start_mode in ("reboot", "restore"):
+        assert indexed[(start_mode, "persistent")].mean > 240.0
+
+    # Low-latency NFS restore stays below ~40 s.
+    nfs_restore = indexed[("restore", "nonpersistent-loopbacknfs")]
+    assert nfs_restore.mean < 40.0
+
+    # Restore beats reboot for every storage mode; loopback NFS is a
+    # modest tax over the native file system.
+    for storage in ("persistent", "nonpersistent-diskfs",
+                    "nonpersistent-loopbacknfs"):
+        assert indexed[("restore", storage)].mean \
+            < indexed[("reboot", storage)].mean
+    assert indexed[("reboot", "nonpersistent-loopbacknfs")].mean \
+        < 1.25 * indexed[("reboot", "nonpersistent-diskfs")].mean
+
+    # Within-band versus the paper: non-persistent cells within 35%,
+    # persistent within 25% (see EXPERIMENTS.md for the reboot gap).
+    for (start, storage), paper_mean in PAPER.items():
+        measured = indexed[(start, storage)].mean
+        band = 0.25 if storage == "persistent" else 0.35
+        assert abs(measured - paper_mean) / paper_mean < band
+
+    # Run-to-run variance exists (GRAM polling, boot jitter).
+    assert indexed[("reboot", "nonpersistent-diskfs")].std > 0.5

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Adaptation: RPS-style prediction picks the right host.
+
+Section 3.2's application perspective: an application about to submit
+work queries host-load sensors, fits predictors to their streams, ranks
+candidate hosts by predicted running time, and runs on the winner.  We
+then check the prediction against the simulated outcome.
+
+Run with:  python examples/adaptive_scheduling.py
+"""
+
+from repro.guestos import OperatingSystem, PhysicalHost
+from repro.hardware import MachineSpec, PhysicalMachine
+from repro.prediction import (
+    ArPredictor,
+    HostLoadSensor,
+    RunningTimePredictor,
+)
+from repro.simulation import RandomStreams, Simulation
+from repro.workloads import HostLoadTrace, LoadPlayback, synthetic_compute
+
+WORK_SECONDS = 30.0
+
+
+def main():
+    sim = Simulation()
+    streams = RandomStreams(11)
+
+    hosts = {}
+    sensors = {}
+    for name, load_mean in (("quiet-host", 0.15), ("busy-host", 1.4)):
+        machine = PhysicalMachine(sim, name, spec=MachineSpec(cores=1))
+        host = PhysicalHost(machine)
+        os = OperatingSystem(host, name=name + "-os",
+                             rng=streams.stream(name))
+        os.mount("/", host.root_fs)
+        os.mark_booted()
+        trace = HostLoadTrace.synthetic(load_mean, streams.stream(
+            "trace-" + name), length=2000)
+        sim.spawn(LoadPlayback(os, trace).run(2000.0))
+        sensor = HostLoadSensor(machine.cpu, period=1.0)
+        sensor.start()
+        hosts[name] = (machine, os)
+        sensors[name] = sensor
+
+    # Let the sensors observe for five minutes.
+    sim.run(until=300.0)
+    histories = {name: list(sensor.series) for name, sensor in
+                 sensors.items()}
+
+    predictor = RunningTimePredictor(lambda: ArPredictor(order=4), cores=1)
+    ranking = predictor.rank_hosts(WORK_SECONDS, histories)
+    predictions = {name: predictor.predict_running_time(WORK_SECONDS,
+                                                        history)
+                   for name, history in histories.items()}
+
+    print("predicted running time of a %.0fs job:" % WORK_SECONDS)
+    for name in ranking:
+        print("  %-11s %.1fs (recent load %.2f)"
+              % (name, predictions[name],
+                 sum(histories[name][-30:]) / 30.0))
+    chosen = ranking[0]
+    print("-> adaptation decision: run on %s" % chosen)
+
+    _machine, os = hosts[chosen]
+    result = sim.run_until_complete(
+        sim.spawn(os.run_application(synthetic_compute(WORK_SECONDS))))
+    print("actual running time on %s: %.1fs (predicted %.1fs, error %.0f%%)"
+          % (chosen, result.wall_time, predictions[chosen],
+             100 * abs(result.wall_time - predictions[chosen])
+             / result.wall_time))
+
+
+if __name__ == "__main__":
+    main()

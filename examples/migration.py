@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Migration: moving an entire computing environment between sites.
+
+A session starts at site "uf", runs a long computation, and is migrated
+mid-run to a host at site "nw": the guest freezes, its memory state and
+copy-on-write diff cross the WAN, and the same OS instance — mounts,
+processes, accounting and all — resumes on the new hardware.
+
+Run with:  python examples/migration.py
+"""
+
+from repro.core import VirtualGrid
+from repro.guestos import GuestOsProfile
+from repro.middleware import SessionConfig
+from repro.workloads import synthetic_compute
+
+GB = 1024 ** 3
+
+QUICK_GUEST = GuestOsProfile(kernel_read_bytes=2 * 1024 * 1024,
+                             scattered_reads=60, boot_cpu_user=0.5,
+                             boot_cpu_sys=0.5, boot_jitter=0.0,
+                             boot_footprint_bytes=64 * 1024 * 1024)
+
+
+def main():
+    grid = VirtualGrid(seed=3)
+    grid.add_site("uf")
+    grid.add_site("nw")
+    grid.add_compute_host("compute1", site="uf")
+    grid.add_compute_host("compute2", site="nw")
+    grid.add_image_server("images1", site="nw")
+    grid.publish_image("images1", "rh72", 1 * GB, warm_state_mb=128)
+    grid.add_data_server("data1", site="nw")
+    grid.add_user("ana")
+
+    session = grid.new_session(SessionConfig(
+        user="ana", image="rh72", guest_profile=QUICK_GUEST,
+        host_constraints={"host": "compute1"}))
+    grid.run(session.establish())
+    print("VM %s running on %s (site %s)"
+          % (session.vm.name, session.vm.vmm.machine.name,
+             session.vm.vmm.machine.site))
+
+    start = grid.sim.now
+    job = grid.sim.spawn(session.run_application(synthetic_compute(90.0)))
+
+    grid.sim.run(until=start + 30.0)
+    print("t=+30s: job one third done; owner reclaims compute1 -> migrate")
+    downtime = grid.run(session.migrate_to("compute2"))
+    print("migrated to %s in %.1fs of downtime "
+          "(memory state + diff over the WAN)"
+          % (session.vm.vmm.machine.name, downtime))
+    print("guest mounts after the move: %s"
+          % sorted(session.guest_os.mounts))
+
+    grid.sim.run_until_complete(job)
+    result = session.guest_os.results[-1]
+    print("job completed: user=%.1fs wall=%.1fs "
+          "(= 90s of work + %.1fs downtime + overheads)"
+          % (result.user_time, result.wall_time, downtime))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Figure 3's right half: a service provider with virtual back-ends.
+
+A provider S deploys a pool of warm virtual back-end VMs (V1, V2) on a
+physical server and multiplexes end users A, B and C across them.  The
+end users hold logical accounts *with the provider*, never with the
+site — "the logical user account abstraction decouples access to
+physical resources (middleware) from access to virtual resources
+(end-users and services)".
+
+Run with:  python examples/service_provider.py
+"""
+
+from repro.core import VirtualGrid, format_table
+from repro.guestos import GuestOsProfile
+from repro.middleware import MiddlewareFrontend
+from repro.workloads import synthetic_compute
+
+GB = 1024 ** 3
+
+QUICK_GUEST = GuestOsProfile(kernel_read_bytes=2 * 1024 * 1024,
+                             scattered_reads=60, boot_cpu_user=0.5,
+                             boot_cpu_sys=0.5, boot_jitter=0.0,
+                             boot_footprint_bytes=64 * 1024 * 1024)
+
+
+def main():
+    grid = VirtualGrid(seed=21)
+    grid.add_site("provider-site")
+    grid.add_compute_host("P2", site="provider-site", vm_futures=8)
+    grid.add_image_server("images", site="provider-site")
+    grid.publish_image("images", "tool-image", 1 * GB, warm_state_mb=128)
+    grid.add_data_server("data", site="provider-site")
+    grid.add_user("provider-s")   # only the provider holds grid rights
+
+    frontend = MiddlewareFrontend(grid)
+    provider = frontend.create_provider("provider-s", "tool-image",
+                                        backends=2,
+                                        guest_profile=QUICK_GUEST)
+    deployed = grid.run(provider.deploy())
+    print("provider deployed %d warm back-ends: %s"
+          % (deployed, ", ".join(s.vm.name for s in provider.sessions)))
+
+    for user in ("userA", "userB", "userC"):
+        provider.register_user(user)
+    print("end users registered with the provider (no site accounts):",
+          ", ".join(provider.users))
+
+    # Three users submit at once; two back-ends serve them.
+    jobs = [grid.sim.spawn(provider.submit(user, synthetic_compute(20.0)))
+            for user in ("userA", "userB", "userC")]
+    grid.sim.run()
+
+    rows = [[o.user, o.backend, "%.1f" % o.queue_delay,
+             "%.1f" % o.service_time] for o in provider.outcomes]
+    print(format_table(["User", "Back-end", "Queue delay (s)",
+                        "Service (s)"], rows,
+                       title="\nRequests served:"))
+
+    busy = provider.utilization_summary()
+    for backend, seconds in sorted(busy.items()):
+        print("%s busy for %.1fs" % (backend, seconds))
+
+    grid.run(provider.teardown())
+    print("pool torn down; back-end VMs terminated")
+
+
+if __name__ == "__main__":
+    main()

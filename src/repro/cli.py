@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro table1 [--scale 1.0]
+    python -m repro table2 [--samples 10]
+    python -m repro figure1 [--samples 150]
+    python -m repro ablations
+    python -m repro overlay
+    python -m repro migration
+    python -m repro all
+
+Each command prints the same tables the benchmark harness archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.reporting import format_table
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> None:
+    from repro.experiments.table1 import run_table1
+
+    rows = run_table1(scale=args.scale, seed=args.seed)
+    print(format_table(
+        ["Application", "Resource", "User(s)", "Sys(s)", "Total(s)",
+         "Overhead"],
+        [[r.application, r.resource, "%.0f" % r.user_time,
+          "%.1f" % r.sys_time, "%.0f" % r.total_time,
+          "%.2f%%" % (100 * r.overhead) if r.overhead is not None
+          else "N/A"] for r in rows],
+        title="Table 1: macrobenchmark results"))
+
+
+def _cmd_table2(args) -> None:
+    from repro.experiments.table2 import run_table2
+
+    rows = run_table2(samples=args.samples, seed=args.seed)
+    print(format_table(
+        ["Start", "Storage", "Mean(s)", "Std", "Min", "Max"],
+        [[r.start_mode, r.storage_mode, "%.1f" % r.mean, "%.1f" % r.std,
+          "%.1f" % r.minimum, "%.1f" % r.maximum] for r in rows],
+        title="Table 2: VM startup times via globusrun"))
+
+
+def _cmd_figure1(args) -> None:
+    from repro.experiments.figure1 import run_figure1
+
+    results = run_figure1(samples=args.samples, seed=args.seed)
+    print(format_table(
+        ["Load", "Test on", "Load on", "Mean slowdown", "Std"],
+        [[r.load_level, r.test_on, r.load_on, "%.3f" % r.mean_slowdown,
+          "%.3f" % r.std_slowdown] for r in results],
+        title="Figure 1: microbenchmark slowdown (12 scenarios)"))
+
+
+def _cmd_ablations(args) -> None:
+    from repro.experiments.ablations import (
+        run_proxy_cache_ablation,
+        run_scheduler_ablation,
+        run_staging_ablation,
+    )
+
+    cache = run_proxy_cache_ablation(seed=args.seed)
+    print(format_table(
+        ["Proxy cache", "Cold(s)", "Warm mean(s)"],
+        [["on" if r.proxy_cache else "off", "%.1f" % r.cold,
+          "%.1f" % r.warm_mean] for r in cache],
+        title="A1: proxy cache"))
+    print()
+    sched = run_scheduler_ablation(seed=args.seed)
+    print(format_table(
+        ["Mechanism", "VM", "Target", "Achieved"],
+        [[r.mechanism, r.vm, "%.3f" % r.target, "%.3f" % r.achieved]
+         for r in sched],
+        title="A2: enforcement mechanisms"))
+    print()
+    staging = run_staging_ablation()
+    print(format_table(
+        ["Fraction", "On-demand(s)", "Staged(s)", "Winner"],
+        [["%.2f" % p.fraction, "%.1f" % p.on_demand_time,
+          "%.1f" % p.staged_time,
+          "on-demand" if p.on_demand_wins else "staged"]
+         for p in staging],
+        title="A3: staging vs on-demand"))
+
+
+def _cmd_overlay(args) -> None:
+    from repro.experiments.overlay_experiment import run_overlay_experiment
+
+    trials = run_overlay_experiment(seed=args.seed)
+    print(format_table(
+        ["Trial", "Improved pairs", "Direct(ms)", "Overlay(ms)"],
+        [[i, "%d/%d" % (t.pairs_improved, t.pairs),
+          "%.1f" % (1e3 * t.mean_direct_latency),
+          "%.1f" % (1e3 * t.mean_overlay_latency)]
+         for i, t in enumerate(trials)],
+        title="O1: overlay routing"))
+
+
+def _cmd_migration(args) -> None:
+    from repro.experiments.migration_experiment import (
+        run_migration_experiment,
+    )
+
+    result = run_migration_experiment(seed=args.seed)
+    print(format_table(
+        ["Metric", "Value"],
+        [["downtime", "%.1f s" % result.downtime],
+         ["completion (migrated)", "%.1f s" % result.completion_time],
+         ["completion (baseline)",
+          "%.1f s" % result.baseline_completion_time],
+         ["mounts preserved", str(result.mounts_preserved)],
+         ["final host", result.final_host]],
+        title="M1: migration"))
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure1": _cmd_figure1,
+    "ablations": _cmd_ablations,
+    "overlay": _cmd_overlay,
+    "migration": _cmd_migration,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'A Case For Grid "
+                    "Computing On Virtual Machines' (ICDCS 2003).")
+    parser.add_argument("command",
+                        choices=sorted(_COMMANDS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed (default 0)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="table1: application scale factor")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="table2/figure1: sample count")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.samples is None:
+        args.samples = 150 if args.command == "figure1" else 10
+    if args.command == "all":
+        for name in ("table1", "figure1", "table2", "ablations",
+                     "overlay", "migration"):
+            if name == "figure1" and args.samples == 10:
+                args.samples = 150
+            _COMMANDS[name](args)
+            print()
+    else:
+        _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The public face of the library: a virtual-machine computational grid.
+
+:class:`~repro.core.grid.VirtualGrid` assembles everything the paper's
+architecture needs — sites, compute hosts with VMMs and GRAM gateways,
+image and data servers, DHCP pools, the information service, logical
+accounts — and hands out :class:`~repro.middleware.session.GridSession`
+objects implementing the six-step life cycle.
+
+>>> from repro.core import VirtualGrid
+>>> from repro.middleware import SessionConfig
+>>> grid = VirtualGrid(seed=42)
+>>> grid.add_site("uf")
+>>> grid.add_compute_host("compute1", site="uf")      # doctest: +ELLIPSIS
+<PhysicalMachine ...>
+"""
+
+from repro.core.grid import VirtualGrid
+from repro.core.reporting import format_table
+
+__all__ = ["VirtualGrid", "format_table"]

@@ -1,0 +1,143 @@
+"""The stable flat API: one import for downstream users.
+
+Everything a grid builder typically needs, re-exported from one place::
+
+    from repro.core.api import (
+        VirtualGrid, SessionConfig, spec_seis, HostLoadTrace, ...
+    )
+
+Subpackage imports remain available (and are what the library itself
+uses); this module simply freezes the names we commit to keeping stable.
+"""
+
+from repro.core.grid import VirtualGrid
+from repro.core.reporting import format_table
+from repro.guestos import (
+    GuestOsProfile,
+    OperatingSystem,
+    OsCosts,
+    PhysicalHost,
+    ProcessResult,
+)
+from repro.gridnet import (
+    DhcpServer,
+    EthernetTunnel,
+    FlowEngine,
+    Network,
+    OverlayNetwork,
+)
+from repro.hardware import (
+    CpuTask,
+    Disk,
+    MachineSpec,
+    PhysicalMachine,
+    ProcessorSharingCpu,
+    TaskGroup,
+)
+from repro.middleware import (
+    AccountRegistry,
+    GramGateway,
+    GridFtpService,
+    GridSession,
+    ImageServer,
+    InformationService,
+    LogicalUser,
+    MetaScheduler,
+    MiddlewareFrontend,
+    ServiceProvider,
+    SessionConfig,
+    TapeArchive,
+    UsageMeter,
+    UserDataServer,
+    VirtualCluster,
+    VmFuture,
+    VncConsole,
+)
+from repro.prediction import (
+    ArPredictor,
+    BandwidthSensor,
+    HostLoadSensor,
+    LastValuePredictor,
+    RunningTimePredictor,
+    WindowedMeanPredictor,
+)
+from repro.scheduling import (
+    DutyCycleModulator,
+    InteractivePolicyDaemon,
+    LotteryScheduler,
+    PeriodicEnforcer,
+    WfqScheduler,
+    compile_constraints,
+    parse_constraints,
+)
+from repro.simulation import RandomStreams, Simulation, SimulationError
+from repro.storage import (
+    BlockCache,
+    FileStager,
+    LocalFileSystem,
+    NfsClient,
+    NfsServer,
+    PvfsProxy,
+)
+from repro.vmm import (
+    DiskImage,
+    VirtualDisk,
+    VirtualMachine,
+    VirtualMachineMonitor,
+    VmConfig,
+    VmCrashed,
+    VmState,
+    VmmCosts,
+    migrate,
+)
+from repro.workloads import (
+    Application,
+    ComputePhase,
+    HostLoadTrace,
+    IoPhase,
+    KernelEventRates,
+    LoadPlayback,
+    micro_test_task,
+    spec_climate,
+    spec_seis,
+    synthetic_compute,
+)
+
+__all__ = [
+    # core
+    "VirtualGrid", "format_table",
+    # simulation
+    "Simulation", "SimulationError", "RandomStreams",
+    # hardware
+    "CpuTask", "Disk", "MachineSpec", "PhysicalMachine",
+    "ProcessorSharingCpu", "TaskGroup",
+    # guest OS
+    "GuestOsProfile", "OperatingSystem", "OsCosts", "PhysicalHost",
+    "ProcessResult",
+    # VMM
+    "DiskImage", "VirtualDisk", "VirtualMachine", "VirtualMachineMonitor",
+    "VmConfig", "VmCrashed", "VmState", "VmmCosts", "migrate",
+    # storage
+    "BlockCache", "FileStager", "LocalFileSystem", "NfsClient",
+    "NfsServer", "PvfsProxy",
+    # networking
+    "DhcpServer", "EthernetTunnel", "FlowEngine", "Network",
+    "OverlayNetwork",
+    # middleware
+    "AccountRegistry", "GramGateway", "GridFtpService", "GridSession",
+    "ImageServer", "InformationService", "LogicalUser", "MetaScheduler",
+    "MiddlewareFrontend", "ServiceProvider", "SessionConfig",
+    "TapeArchive", "UsageMeter", "UserDataServer", "VirtualCluster",
+    "VmFuture", "VncConsole",
+    # scheduling
+    "DutyCycleModulator", "InteractivePolicyDaemon", "LotteryScheduler",
+    "PeriodicEnforcer", "WfqScheduler", "compile_constraints",
+    "parse_constraints",
+    # prediction
+    "ArPredictor", "BandwidthSensor", "HostLoadSensor",
+    "LastValuePredictor", "RunningTimePredictor", "WindowedMeanPredictor",
+    # workloads
+    "Application", "ComputePhase", "HostLoadTrace", "IoPhase",
+    "KernelEventRates", "LoadPlayback", "micro_test_task", "spec_climate",
+    "spec_seis", "synthetic_compute",
+]

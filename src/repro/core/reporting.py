@@ -1,0 +1,34 @@
+"""Table formatting shared by the examples and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render a fixed-width text table (the benches print paper tables)."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = "%.2f" % cell
+            else:
+                text = str(cell)
+            columns[i].append(text)
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(line(["-" * width for width in widths]))
+    for row_index in range(1, len(columns[0])):
+        out.append(line([column[row_index] for column in columns]))
+    return "\n".join(out)

@@ -1,0 +1,59 @@
+"""Reproductions of the paper's quantitative artifacts.
+
+Each module builds the full experiment — testbed, workload, measurement —
+and returns structured results; the ``benchmarks/`` harness prints the
+paper-shaped tables and asserts the qualitative claims, and the examples
+reuse the same code paths.
+
+* :mod:`~repro.experiments.testbed` — the simulated dual-Pentium III
+  testbed configuration shared by all experiments;
+* :mod:`~repro.experiments.table1` — macrobenchmark overheads;
+* :mod:`~repro.experiments.figure1` — microbenchmark slowdown under
+  background load (12 scenarios);
+* :mod:`~repro.experiments.table2` — VM startup times via globusrun;
+* :mod:`~repro.experiments.ablations` — proxy-cache, scheduler and
+  staging-vs-on-demand ablations (A1-A3 in DESIGN.md);
+* :mod:`~repro.experiments.overlay_experiment` — overlay routing (O1);
+* :mod:`~repro.experiments.migration_experiment` — migration (M1).
+"""
+
+from repro.experiments.ablations import (
+    run_proxy_cache_ablation,
+    run_scheduler_ablation,
+    run_staging_ablation,
+    run_vmm_cost_sensitivity,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.migration_experiment import (
+    MigrationResult,
+    run_migration_experiment,
+)
+from repro.experiments.overlay_experiment import (
+    OverlayTrialResult,
+    run_overlay_experiment,
+)
+from repro.experiments.placement_experiment import (
+    PlacementResult,
+    run_placement_ablation,
+)
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.table2 import Table2Row, run_table2
+
+__all__ = [
+    "Figure1Result",
+    "MigrationResult",
+    "OverlayTrialResult",
+    "PlacementResult",
+    "Table1Row",
+    "Table2Row",
+    "run_figure1",
+    "run_migration_experiment",
+    "run_overlay_experiment",
+    "run_placement_ablation",
+    "run_proxy_cache_ablation",
+    "run_scheduler_ablation",
+    "run_staging_ablation",
+    "run_table1",
+    "run_table2",
+    "run_vmm_cost_sensitivity",
+]

@@ -1,0 +1,106 @@
+"""M1: migrating an entire computing environment mid-computation.
+
+Sections 2.2/3.1: a running VM can be suspended, moved and resumed on
+another resource "while keeping remote data connections active".  This
+experiment opens a full six-step session, starts a long application,
+migrates the VM to a second compute host halfway through, and verifies
+that the application finishes with its accounting intact, that the
+guest's user-data mount survived, and reports the migration downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.grid import VirtualGrid
+from repro.experiments.testbed import GB, compute_node_spec
+from repro.guestos.profile import GuestOsProfile
+from repro.middleware.session import SessionConfig
+from repro.workloads.applications import synthetic_compute
+
+__all__ = ["MigrationResult", "run_migration_experiment"]
+
+#: A quick-booting profile: migration, not boot, is under test here.
+_QUICK_GUEST = GuestOsProfile(kernel_read_bytes=2 * 1024 * 1024,
+                              scattered_reads=60, boot_cpu_user=0.5,
+                              boot_cpu_sys=0.5, boot_jitter=0.0,
+                              boot_footprint_bytes=64 * 1024 * 1024)
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of the migrate-mid-run experiment."""
+
+    app_seconds: float
+    migrated_at: float
+    downtime: float
+    completion_time: float
+    baseline_completion_time: float
+    user_time: float
+    mounts_preserved: bool
+    final_host: str
+
+    @property
+    def migration_penalty(self) -> float:
+        """Extra wall time caused by migrating."""
+        return self.completion_time - self.baseline_completion_time
+
+
+def _build_grid(seed: int) -> VirtualGrid:
+    grid = VirtualGrid(seed=seed)
+    grid.add_site("uf")
+    grid.add_site("nw")
+    grid.add_compute_host("compute1", site="uf",
+                          spec=compute_node_spec())
+    grid.add_compute_host("compute2", site="nw",
+                          spec=compute_node_spec())
+    grid.add_image_server("images1", site="nw")
+    grid.publish_image("images1", "rh72", 1 * GB, warm_state_mb=128)
+    grid.add_data_server("data1", site="nw")
+    grid.add_user("ana")
+    return grid
+
+
+def _run_once(seed: int, app_seconds: float,
+              migrate_after: Optional[float]):
+    grid = _build_grid(seed)
+    config = SessionConfig(user="ana", image="rh72",
+                           guest_profile=_QUICK_GUEST,
+                           host_constraints={"host": "compute1"})
+    session = grid.new_session(config)
+    grid.run(session.establish())
+    start = grid.sim.now
+    app_proc = grid.sim.spawn(
+        session.run_application(synthetic_compute(app_seconds)))
+
+    downtime = None
+    migrated_at = None
+    if migrate_after is not None:
+        grid.sim.run(until=start + migrate_after)
+        migrated_at = grid.sim.now
+        downtime = grid.run(session.migrate_to("compute2"))
+    result = grid.sim.run_until_complete(app_proc)
+    completion = grid.sim.now - start
+    return grid, session, result, completion, downtime, migrated_at
+
+
+def run_migration_experiment(app_seconds: float = 120.0,
+                             migrate_after: float = 40.0,
+                             seed: int = 0) -> MigrationResult:
+    """Migrate a session mid-run; compare against an unmigrated run."""
+    _grid_b, _sess_b, _res_b, baseline, _dt, _ma = _run_once(
+        seed, app_seconds, migrate_after=None)
+    grid, session, result, completion, downtime, migrated_at = _run_once(
+        seed, app_seconds, migrate_after=migrate_after)
+    mounts_preserved = "/home/ana" in session.guest_os.mounts
+    return MigrationResult(
+        app_seconds=app_seconds,
+        migrated_at=migrated_at,
+        downtime=downtime,
+        completion_time=completion,
+        baseline_completion_time=baseline,
+        user_time=result.user_time,
+        mounts_preserved=mounts_preserved,
+        final_host=session.vm.vmm.machine.name,
+    )

@@ -1,0 +1,81 @@
+"""DHCP-style address assignment for dynamic VM instances.
+
+Section 3.3, scenario 1: the VM host's site has provisions for handing
+out IP addresses, so a freshly instantiated VM obtains one dynamically
+and the middleware uses it to reference the VM for the session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simulation.kernel import Simulation, SimulationError
+
+__all__ = ["DhcpServer", "Lease", "NoAddressAvailable"]
+
+
+class NoAddressAvailable(SimulationError):
+    """The site's DHCP pool is exhausted."""
+
+
+class Lease:
+    """One granted address."""
+
+    def __init__(self, address: str, client: str, granted_at: float):
+        self.address = address
+        self.client = client
+        self.granted_at = granted_at
+        self.released_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """True while the client still holds the address."""
+        return self.released_at is None
+
+    def __repr__(self) -> str:
+        return "<Lease %s -> %s>" % (self.address, self.client)
+
+
+class DhcpServer:
+    """A per-site address pool with DISCOVER/OFFER latency."""
+
+    def __init__(self, sim: Simulation, subnet: str = "10.0.0",
+                 pool_size: int = 64, handshake_time: float = 0.2):
+        if pool_size < 1:
+            raise SimulationError("pool must hold at least one address")
+        self.sim = sim
+        self.subnet = subnet
+        self.handshake_time = float(handshake_time)
+        self._free: List[str] = ["%s.%d" % (subnet, i)
+                                 for i in range(2, 2 + pool_size)]
+        self._leases: Dict[str, Lease] = {}
+
+    @property
+    def available(self) -> int:
+        """Addresses still free."""
+        return len(self._free)
+
+    @property
+    def active_leases(self) -> List[Lease]:
+        """Currently granted leases."""
+        return [lease for lease in self._leases.values() if lease.active]
+
+    def acquire(self, client: str):
+        """Process generator: DISCOVER/OFFER/REQUEST/ACK, returns a Lease."""
+        yield self.sim.timeout(self.handshake_time)
+        if not self._free:
+            raise NoAddressAvailable("pool %s.* exhausted" % self.subnet)
+        address = self._free.pop(0)
+        lease = Lease(address, client, self.sim.now)
+        self._leases[address] = lease
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        """Return an address to the pool."""
+        if lease.address not in self._leases or not lease.active:
+            raise SimulationError("lease %s is not active" % lease.address)
+        lease.released_at = self.sim.now
+        self._free.append(lease.address)
+
+    def __repr__(self) -> str:
+        return "<DhcpServer %s.* free=%d>" % (self.subnet, len(self._free))

@@ -1,0 +1,236 @@
+"""Flow-level bandwidth sharing with max-min fairness.
+
+A :class:`Flow` is a bulk transfer of bytes along the routed path between
+two hosts.  The :class:`FlowEngine` allocates every active flow a rate by
+progressive filling (the textbook max-min algorithm): repeatedly find the
+most-congested link, give each flow crossing it an equal share of the
+remaining capacity, freeze those flows, and subtract what they consume
+elsewhere.
+
+Like the CPU model, flows advance fluidly between membership changes, so
+the event count is proportional to the number of transfers, not bytes.
+A transfer's total time is one connection-setup round trip, plus the
+fluid transfer, plus half an RTT for the final byte to propagate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.gridnet.topology import Link, Network
+from repro.simulation.kernel import Event, Simulation, SimulationError
+from repro.simulation.monitor import StatAccumulator
+
+__all__ = ["Flow", "FlowEngine"]
+
+_BYTES_EPSILON = 1e-6
+
+
+class Flow:
+    """An in-flight bulk transfer."""
+
+    def __init__(self, src: str, dst: str, nbytes: float, links: List[Link],
+                 priority_bandwidth: Optional[float] = None):
+        self.src = src
+        self.dst = dst
+        self.total_bytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.links = links
+        #: Optional per-flow cap (used by tunnels to model encapsulation).
+        self.bandwidth_cap = priority_bandwidth
+        self.done: Optional[Event] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.rate = 0.0
+
+    def __repr__(self) -> str:
+        return "<Flow %s->%s %.0f/%.0fB>" % (self.src, self.dst,
+                                             self.total_bytes - self.remaining,
+                                             self.total_bytes)
+
+
+class FlowEngine:
+    """Shares link bandwidth among concurrent flows, max-min fairly."""
+
+    def __init__(self, sim: Simulation, network: Network):
+        self.sim = sim
+        self.network = network
+        self._active: List[Flow] = []
+        self._last_update = sim.now
+        self._generation = 0
+        self.transfer_time = StatAccumulator("flow.transfer_time")
+
+    # -- public API ----------------------------------------------------------
+
+    def start_flow(self, src: str, dst: str, nbytes: float,
+                   bandwidth_cap: Optional[float] = None) -> Flow:
+        """Begin a transfer; ``flow.done`` fires when all bytes are sent."""
+        if not self.network.has_host(src) or not self.network.has_host(dst):
+            raise SimulationError("flows need registered end hosts")
+        if nbytes < 0:
+            raise SimulationError("flow size must be non-negative")
+        links = self.network.path_links(src, dst)
+        flow = Flow(src, dst, nbytes, links, priority_bandwidth=bandwidth_cap)
+        flow.done = Event(self.sim)
+        flow.started_at = self.sim.now
+        self._advance()
+        if not links:
+            # Loopback transfer: no shared medium, completes instantly
+            # (end-host serialization is charged by the NIC, not here).
+            flow.remaining = 0.0
+        if flow.remaining <= _BYTES_EPSILON:
+            flow.finished_at = self.sim.now
+            flow.done.succeed(flow)
+        else:
+            self._active.append(flow)
+        self._reschedule()
+        return flow
+
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 setup_round_trips: float = 1.0,
+                 bandwidth_cap: Optional[float] = None):
+        """Process generator: a complete transfer including handshakes.
+
+        ``setup_round_trips`` models connection establishment (one RTT for
+        a TCP-style handshake; RPC layers add their own on top).
+        """
+        start = self.sim.now
+        latency = self.network.latency(src, dst)
+        if setup_round_trips:
+            yield self.sim.timeout(2.0 * latency * setup_round_trips)
+        if nbytes > 0:
+            flow = self.start_flow(src, dst, nbytes,
+                                   bandwidth_cap=bandwidth_cap)
+            yield flow.done
+        # Final byte still has to propagate to the receiver.
+        yield self.sim.timeout(latency)
+        self.transfer_time.add(self.sim.now - start)
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """Snapshot of in-flight flows."""
+        return list(self._active)
+
+    def current_rate(self, flow: Flow) -> float:
+        """The flow's instantaneous allocated rate, bytes/second."""
+        return self._allocate().get(flow, 0.0)
+
+    def link_usage(self) -> Dict[Link, float]:
+        """Instantaneous allocated rate per link, bytes/second."""
+        rates = self._allocate()
+        usage: Dict[Link, float] = {}
+        for flow, rate in rates.items():
+            for link in flow.links:
+                usage[link] = usage.get(link, 0.0) + rate
+        return usage
+
+    def available_bandwidth(self, src: str, dst: str) -> float:
+        """Spare capacity along the routed src->dst path right now.
+
+        What a new flow could *at least* get immediately (max-min
+        fairness may grant it more by squeezing others).
+        """
+        links = self.network.path_links(src, dst)
+        if not links:
+            return float("inf")
+        usage = self.link_usage()
+        return min(link.bandwidth - usage.get(link, 0.0)
+                   for link in links)
+
+    # -- max-min allocation ----------------------------------------------------
+
+    def _allocate(self) -> Dict[Flow, float]:
+        """Progressive-filling max-min fair rates for all active flows."""
+        rates: Dict[Flow, float] = {}
+        unfixed: Set[Flow] = set(self._active)
+        if not unfixed:
+            return rates
+        remaining_cap: Dict[Link, float] = {}
+        link_flows: Dict[Link, Set[Flow]] = {}
+        for flow in unfixed:
+            for link in flow.links:
+                remaining_cap.setdefault(link, link.bandwidth)
+                link_flows.setdefault(link, set()).add(flow)
+
+        # Flows with an explicit cap tighter than any fair share are pinned
+        # first by treating the cap as a single-flow virtual link.
+        while unfixed:
+            # Find the bottleneck: smallest per-flow share among loaded links.
+            bottleneck_share = math.inf
+            bottleneck_link: Optional[Link] = None
+            for link, flows in link_flows.items():
+                live = flows & unfixed
+                if not live:
+                    continue
+                share = remaining_cap[link] / len(live)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck_link = link
+            capped = [f for f in unfixed
+                      if f.bandwidth_cap is not None
+                      and f.bandwidth_cap < bottleneck_share]
+            if capped:
+                # Pin the most-constrained capped flow and recurse.
+                flow = min(capped, key=lambda f: f.bandwidth_cap)
+                rate = flow.bandwidth_cap
+            elif bottleneck_link is None:
+                break
+            else:
+                flow = None
+                rate = bottleneck_share
+            if flow is not None:
+                fixed = [flow]
+            else:
+                fixed = list(link_flows[bottleneck_link] & unfixed)
+            for f in fixed:
+                rates[f] = rate
+                unfixed.discard(f)
+                for link in f.links:
+                    remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
+        return rates
+
+    # -- fluid advancement -----------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._active:
+            rates = self._allocate()
+            for flow in self._active:
+                flow.remaining = max(
+                    0.0, flow.remaining - elapsed * rates.get(flow, 0.0))
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        now = self.sim.now
+        finished = [f for f in self._active if f.remaining <= _BYTES_EPSILON]
+        for flow in finished:
+            self._active.remove(flow)
+            flow.remaining = 0.0
+            flow.finished_at = now
+            flow.done.succeed(flow)
+        rates = self._allocate()
+        for flow, rate in rates.items():
+            flow.rate = rate
+        self._generation += 1
+        generation = self._generation
+        horizon = math.inf
+        for flow in self._active:
+            rate = rates.get(flow, 0.0)
+            if rate > 0:
+                horizon = min(horizon, flow.remaining / rate)
+        if horizon is math.inf:
+            return
+
+        def fire(event, generation=generation):
+            if generation != self._generation:
+                return
+            self._advance()
+            self._reschedule()
+
+        timer = self.sim.timeout(max(horizon, 0.0))
+        timer.callbacks.append(fire)
+
+    def __repr__(self) -> str:
+        return "<FlowEngine %d active>" % len(self._active)

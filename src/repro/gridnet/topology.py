@@ -1,0 +1,181 @@
+"""Network topology: hosts, routers and links with latency/bandwidth.
+
+The topology is an undirected multigraph-free graph (one link per node
+pair).  Routing is static shortest-path by propagation latency, computed
+with networkx and cached until the topology changes.  Convenience
+builders create the two shapes the paper's experiments need: a single
+LAN, and two LANs joined by a WAN link (the University of Florida /
+Northwestern setup of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.simulation.kernel import Simulation, SimulationError
+
+__all__ = ["Link", "Network"]
+
+
+class Link:
+    """A bidirectional link with propagation latency and capacity."""
+
+    def __init__(self, a: str, b: str, latency: float, bandwidth: float):
+        if latency < 0 or bandwidth <= 0:
+            raise SimulationError("invalid link parameters")
+        self.a = a
+        self.b = b
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The two node names the link joins."""
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:
+        return "<Link %s--%s %.1fms %.0fMb/s>" % (
+            self.a, self.b, self.latency * 1e3, self.bandwidth * 8 / 1e6)
+
+
+class Network:
+    """Hosts, routers and links, with shortest-latency routing."""
+
+    def __init__(self, sim: Simulation, name: str = "net"):
+        self.sim = sim
+        self.name = name
+        self._graph = nx.Graph()
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._hosts: Dict[str, dict] = {}
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_host(self, name: str, site: str = "local", **attributes) -> None:
+        """Register an end host (a machine that can source/sink flows)."""
+        if name in self._hosts:
+            raise SimulationError("host %s already exists" % name)
+        self._hosts[name] = dict(site=site, **attributes)
+        self._graph.add_node(name)
+        self._route_cache.clear()
+
+    def add_router(self, name: str) -> None:
+        """Register an interior node (cannot source or sink flows)."""
+        self._graph.add_node(name)
+        self._route_cache.clear()
+
+    def add_link(self, a: str, b: str, latency: float,
+                 bandwidth: float) -> Link:
+        """Connect two registered nodes."""
+        for node in (a, b):
+            if node not in self._graph:
+                raise SimulationError("unknown node %s" % node)
+        link = Link(a, b, latency, bandwidth)
+        self._links[self._key(a, b)] = link
+        self._graph.add_edge(a, b, weight=latency)
+        self._route_cache.clear()
+        return link
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[str]:
+        """All registered end hosts."""
+        return list(self._hosts)
+
+    def host_attributes(self, name: str) -> dict:
+        """Attributes given at :meth:`add_host` time."""
+        return dict(self._hosts[name])
+
+    def has_host(self, name: str) -> bool:
+        """True when ``name`` is a registered end host."""
+        return name in self._hosts
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        """The direct link joining ``a`` and ``b``, if any."""
+        return self._links.get(self._key(a, b))
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Node sequence of the lowest-latency path from src to dst."""
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        if key not in self._route_cache:
+            try:
+                path = nx.shortest_path(self._graph, src, dst, weight="weight")
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                raise SimulationError("no route from %s to %s" % (src, dst))
+            self._route_cache[key] = path
+        return self._route_cache[key]
+
+    def path_links(self, src: str, dst: str) -> List[Link]:
+        """The links along the routed path."""
+        path = self.route(src, dst)
+        return [self._links[self._key(a, b)]
+                for a, b in zip(path, path[1:])]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way propagation latency along the routed path."""
+        return sum(link.latency for link in self.path_links(src, dst))
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time along the routed path."""
+        return 2.0 * self.latency(src, dst)
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Capacity of the narrowest link along the routed path."""
+        links = self.path_links(src, dst)
+        if not links:
+            return float("inf")
+        return min(link.bandwidth for link in links)
+
+    # -- canned topologies ---------------------------------------------------
+
+    @classmethod
+    def single_lan(cls, sim: Simulation, hosts: Iterable[str],
+                   latency: float = 5e-5, bandwidth: float = 12.5e6,
+                   site: str = "local") -> "Network":
+        """A switched LAN: every host hangs off one switch.
+
+        Defaults model 100 Mb/s switched Ethernet with 0.1 ms RTT.
+        """
+        net = cls(sim, name="lan")
+        switch = "%s-switch" % site
+        net.add_router(switch)
+        for host in hosts:
+            net.add_host(host, site=site)
+            net.add_link(host, switch, latency=latency, bandwidth=bandwidth)
+        return net
+
+    @classmethod
+    def two_site_wan(cls, sim: Simulation, site_a: str, hosts_a: Iterable[str],
+                     site_b: str, hosts_b: Iterable[str],
+                     wan_latency: float = 0.015, wan_bandwidth: float = 2.5e6,
+                     lan_latency: float = 5e-5,
+                     lan_bandwidth: float = 12.5e6) -> "Network":
+        """Two switched LANs joined by a WAN link.
+
+        Defaults model the paper's Florida/Northwestern setup: ~30 ms RTT
+        and a few MB/s of usable cross-country bandwidth.
+        """
+        net = cls(sim, name="wan")
+        for site, hosts in ((site_a, hosts_a), (site_b, hosts_b)):
+            switch = "%s-switch" % site
+            net.add_router(switch)
+            for host in hosts:
+                net.add_host(host, site=site)
+                net.add_link(host, switch, latency=lan_latency,
+                             bandwidth=lan_bandwidth)
+        net.add_link("%s-switch" % site_a, "%s-switch" % site_b,
+                     latency=wan_latency, bandwidth=wan_bandwidth)
+        return net
+
+    def __repr__(self) -> str:
+        return "<Network %s hosts=%d links=%d>" % (
+            self.name, len(self._hosts), len(self._links))

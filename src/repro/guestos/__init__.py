@@ -1,0 +1,25 @@
+"""Operating-system model, used for both host and guest operating systems.
+
+* :class:`~repro.guestos.interface.MachineInterface` — what an OS needs
+  from the machine beneath it (CPU execution, I/O cost model, root file
+  system).  Two implementations exist: the physical host
+  (:class:`~repro.guestos.interface.PhysicalHost`) and the virtual
+  machine (:class:`repro.vmm.virtual_machine.VirtualMachine`).
+* :class:`~repro.guestos.kernel.OperatingSystem` — mounts, process
+  execution with user/sys accounting, and the boot sequence whose cost
+  dominates Table 2's VM-reboot rows.
+"""
+
+from repro.guestos.costs import OsCosts
+from repro.guestos.interface import MachineInterface, PhysicalHost
+from repro.guestos.kernel import OperatingSystem, ProcessResult
+from repro.guestos.profile import GuestOsProfile
+
+__all__ = [
+    "GuestOsProfile",
+    "MachineInterface",
+    "OperatingSystem",
+    "OsCosts",
+    "PhysicalHost",
+    "ProcessResult",
+]

@@ -1,0 +1,39 @@
+"""Native operating-system cost constants.
+
+These are the *physical-machine* costs; the VMM multiplies them (see
+:class:`repro.vmm.costs.VmmCosts`) because kernel code inside a guest
+executes privileged instructions that must be trapped and emulated.
+Values approximate a 2001-era Linux on a Pentium III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["OsCosts"]
+
+
+@dataclass(frozen=True)
+class OsCosts:
+    """Per-event native kernel costs, in seconds (or seconds/byte)."""
+
+    #: One system call, entry to exit.
+    syscall: float = 1.5e-6
+    #: Kernel CPU per byte moved through the file-system/IO path.
+    io_cpu_per_byte: float = 6e-9
+    #: One process context switch.
+    context_switch: float = 5e-6
+    #: Scheduler timeslice (Linux 2.4's 100 Hz tick era).
+    quantum: float = 0.01
+
+    def __post_init__(self):
+        if min(self.syscall, self.io_cpu_per_byte, self.context_switch) < 0:
+            raise SimulationError("costs must be non-negative")
+        if self.quantum <= 0:
+            raise SimulationError("quantum must be positive")
+
+    def io_sys_seconds(self, nbytes: int, operations: int) -> float:
+        """Native kernel CPU consumed by an I/O request stream."""
+        return operations * self.syscall + nbytes * self.io_cpu_per_byte

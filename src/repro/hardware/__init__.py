@@ -1,0 +1,23 @@
+"""Physical-machine hardware models.
+
+* :mod:`~repro.hardware.cpu` — a multi-core generalized-processor-sharing
+  CPU with context-switch and world-switch taxes;
+* :mod:`~repro.hardware.disk` — a seek + streaming-transfer disk model;
+* :mod:`~repro.hardware.nic` — a rate-limited network interface;
+* :mod:`~repro.hardware.machine` — the :class:`PhysicalMachine` composite.
+"""
+
+from repro.hardware.cpu import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.hardware.disk import Disk
+from repro.hardware.machine import MachineSpec, PhysicalMachine
+from repro.hardware.nic import NetworkInterface
+
+__all__ = [
+    "CpuTask",
+    "Disk",
+    "MachineSpec",
+    "NetworkInterface",
+    "PhysicalMachine",
+    "ProcessorSharingCpu",
+    "TaskGroup",
+]

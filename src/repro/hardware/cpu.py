@@ -1,0 +1,431 @@
+"""A multi-core CPU modelled as a hierarchical processor-sharing server.
+
+Rather than simulating every scheduler quantum as a discrete event (which
+would make hour-long SPEC runs intractable), the CPU advances all runnable
+tasks fluidly between *membership changes*: whenever a task arrives,
+finishes, is cancelled, or has its parameters changed, the model
+
+1. charges every active task for the work it received since the last
+   change (``remaining -= elapsed * rate``),
+2. recomputes each task's service rate from the new task population, and
+3. schedules a single event at the earliest projected completion.
+
+Scheduling is two-level, which is exactly what a classic VMM needs: a
+:class:`TaskGroup` represents one virtual machine monitor process — the
+host scheduler sees it as a *single entity* no matter how many guest
+processes run inside, and the group's members then share the group's
+allocation (the virtual CPU) among themselves.  Ungrouped tasks are
+ordinary host processes.
+
+Scheduler overheads are folded into the rates as *taxes* computed from
+event frequencies times per-event costs — the same arithmetic the paper
+uses to explain VMM overheads:
+
+* a **context-switch tax** of ``switch_cost / quantum`` applies to every
+  top-level entity while more entities are runnable than there are cores;
+* a group's **extra switch cost** models the VMM *world switch* (the
+  paper: "world switches preempt the VMM when load is applied to the
+  physical machine") — preempting a VMM costs far more than preempting
+  an ordinary process, so groups carry a larger per-preemption price;
+* a group's **member switch cost** models emulated *guest context
+  switches* (the paper: "guest context switches involve the execution of
+  privileged instructions that are trapped and emulated by the VMM") —
+  paid while more than one member shares the virtual CPU;
+* a per-task **rate factor** models steady trap-and-emulate dilation
+  (syscalls, page faults, timer interrupts).
+
+Shares follow weighted max-min fairness (water-filling) at both levels;
+each task can use at most one core, and each group at most ``vcpus``
+cores (VMware Workstation-era VMs are uniprocessor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.kernel import Event, Simulation, SimulationError
+from repro.simulation.monitor import TimeSeriesMonitor
+
+__all__ = ["CpuTask", "TaskGroup", "ProcessorSharingCpu"]
+
+#: Tolerance below which remaining work counts as finished (CPU-seconds).
+_WORK_EPSILON = 1e-9
+
+
+class TaskGroup:
+    """A scheduling container: one host-visible entity, many member tasks.
+
+    Used by the VMM to make a whole virtual machine compete for the host
+    CPU as a single process.
+    """
+
+    def __init__(self, name: str, weight: float = 1.0, vcpus: int = 1,
+                 max_rate: Optional[float] = None,
+                 extra_switch_cost: float = 0.0,
+                 member_switch_cost: float = 0.0,
+                 member_quantum: float = 0.01):
+        if weight <= 0:
+            raise SimulationError("group weight must be positive")
+        if vcpus < 1:
+            raise SimulationError("group needs at least one vcpu")
+        if member_quantum <= 0:
+            raise SimulationError("member quantum must be positive")
+        self.name = name
+        self.weight = float(weight)
+        self.vcpus = int(vcpus)
+        self.max_rate = max_rate
+        self.extra_switch_cost = float(extra_switch_cost)
+        self.member_switch_cost = float(member_switch_cost)
+        self.member_quantum = float(member_quantum)
+        #: Cumulative host CPU-seconds delivered to this group across
+        #: its whole life, all hosts included (the metering basis for
+        #: the paper's per-user resource accounting).
+        self.cpu_consumed = 0.0
+
+    def __repr__(self) -> str:
+        return "<TaskGroup %s vcpus=%d>" % (self.name, self.vcpus)
+
+
+class CpuTask:
+    """A single-threaded demand for CPU service.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and error messages.
+    work:
+        Demand in CPU-seconds of a dedicated core at native speed.
+    weight:
+        Proportional-share weight (relative to sibling tasks/entities).
+    rate_factor:
+        Progress per second of host CPU actually granted; below 1.0 this
+        charges steady virtualization dilation.
+    max_rate:
+        Optional hard cap on the task's service rate in core-equivalents
+        (resource control, Section 3.2 of the paper).
+    extra_switch_cost:
+        Additional seconds charged per preemption while time-sliced, on
+        top of the CPU's base context-switch cost.
+    group:
+        The :class:`TaskGroup` (virtual machine) this task runs inside,
+        or ``None`` for an ordinary host process.
+    """
+
+    def __init__(self, name: str, work: float, weight: float = 1.0,
+                 rate_factor: float = 1.0, max_rate: Optional[float] = None,
+                 extra_switch_cost: float = 0.0,
+                 group: Optional[TaskGroup] = None):
+        if work < 0:
+            raise SimulationError("task work must be non-negative")
+        if weight <= 0:
+            raise SimulationError("task weight must be positive")
+        if not 0.0 < rate_factor <= 1.0:
+            raise SimulationError("rate_factor must be in (0, 1]")
+        if max_rate is not None and max_rate < 0:
+            raise SimulationError("max_rate must be non-negative")
+        self.name = name
+        self.work = float(work)
+        self.remaining = float(work)
+        self.weight = float(weight)
+        self.rate_factor = float(rate_factor)
+        self.max_rate = max_rate
+        self.extra_switch_cost = float(extra_switch_cost)
+        self.group = group
+        #: Event fired when the task's work reaches zero.
+        self.done: Optional[Event] = None
+        #: Simulation times bracketing the task's service.
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Host CPU seconds consumed (shares actually granted).
+        self.cpu_consumed = 0.0
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Wall-clock service duration, once finished."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return "<CpuTask %s %.3f/%.3fs>" % (self.name,
+                                            self.work - self.remaining,
+                                            self.work)
+
+
+def _waterfill(items: Sequence[Tuple[object, float, float]],
+               capacity: float) -> Dict[object, float]:
+    """Weighted max-min shares: ``items`` are (key, weight, cap) triples."""
+    shares: Dict[object, float] = {}
+    unfixed = list(items)
+    capacity = max(capacity, 0.0)
+    while unfixed:
+        total_weight = sum(weight for _key, weight, _cap in unfixed)
+        pinned = []
+        for entry in unfixed:
+            key, weight, cap = entry
+            proportional = capacity * weight / total_weight
+            if proportional >= cap - 1e-15:
+                shares[key] = cap
+                pinned.append(entry)
+        if not pinned:
+            for key, weight, _cap in unfixed:
+                shares[key] = capacity * weight / total_weight
+            break
+        for entry in pinned:
+            unfixed.remove(entry)
+            capacity -= shares[entry[0]]
+        capacity = max(capacity, 0.0)
+    return shares
+
+
+class ProcessorSharingCpu:
+    """A ``cores``-way CPU shared among tasks and task groups."""
+
+    def __init__(self, sim: Simulation, cores: int = 1, speed: float = 1.0,
+                 quantum: float = 0.01, context_switch_cost: float = 5e-6,
+                 name: str = "cpu"):
+        if cores < 1:
+            raise SimulationError("cpu needs at least one core")
+        if speed <= 0:
+            raise SimulationError("cpu speed must be positive")
+        if quantum <= 0:
+            raise SimulationError("scheduler quantum must be positive")
+        self.sim = sim
+        self.name = name
+        self.cores = int(cores)
+        self.speed = float(speed)
+        self.quantum = float(quantum)
+        self.context_switch_cost = float(context_switch_cost)
+        self._active: List[CpuTask] = []
+        self._last_update = sim.now
+        self._completion_generation = 0
+        #: Fraction of total capacity in use, sampled at membership changes.
+        self.utilization = TimeSeriesMonitor(name + ".utilization")
+        #: Number of host-schedulable entities, sampled at changes.
+        self.run_queue = TimeSeriesMonitor(name + ".runqueue")
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def active_tasks(self) -> List[CpuTask]:
+        """Snapshot of the tasks currently receiving service."""
+        return list(self._active)
+
+    def submit(self, task: CpuTask) -> Event:
+        """Start serving ``task``; the returned event fires at completion.
+
+        A task with zero work completes immediately (at the current time).
+        """
+        if task.done is not None:
+            raise SimulationError("task %s was already submitted" % task.name)
+        task.done = Event(self.sim)
+        task.started_at = self.sim.now
+        self._advance()
+        if task.remaining <= _WORK_EPSILON:
+            task.finished_at = self.sim.now
+            task.done.succeed(task)
+        else:
+            self._active.append(task)
+        self._reschedule()
+        return task.done
+
+    def run(self, task: CpuTask):
+        """Process-style helper: ``yield from cpu.run(task)``."""
+        yield self.submit(task)
+        return task
+
+    def cancel(self, task: CpuTask) -> float:
+        """Remove an unfinished task, returning its remaining work.
+
+        Used for VM suspend and migration: the remaining demand is carried
+        to the destination and resubmitted there.
+        """
+        self._advance()
+        if task not in self._active:
+            raise SimulationError("task %s is not active" % task.name)
+        self._active.remove(task)
+        self._reschedule()
+        return task.remaining
+
+    def update_task(self, task: CpuTask, rate_factor: Optional[float] = None,
+                    max_rate: Optional[float] = None,
+                    weight: Optional[float] = None,
+                    clear_max_rate: bool = False) -> None:
+        """Change a running task's scheduling parameters mid-flight."""
+        self._advance()
+        if task not in self._active:
+            raise SimulationError("task %s is not active" % task.name)
+        if rate_factor is not None:
+            if not 0.0 < rate_factor <= 1.0:
+                raise SimulationError("rate_factor must be in (0, 1]")
+            task.rate_factor = rate_factor
+        if clear_max_rate:
+            task.max_rate = None
+        elif max_rate is not None:
+            task.max_rate = max_rate
+        if weight is not None:
+            if weight <= 0:
+                raise SimulationError("weight must be positive")
+            task.weight = weight
+        self._reschedule()
+
+    def update_group(self, group: TaskGroup,
+                     max_rate: Optional[float] = None,
+                     weight: Optional[float] = None,
+                     clear_max_rate: bool = False) -> None:
+        """Change a group's scheduling parameters mid-flight.
+
+        This is the hook the paper's resource-control toolchain uses: a
+        compiled owner constraint becomes a cap or weight on the VM's
+        group (see :mod:`repro.scheduling`).
+        """
+        self._advance()
+        if clear_max_rate:
+            group.max_rate = None
+        elif max_rate is not None:
+            group.max_rate = max_rate
+        if weight is not None:
+            if weight <= 0:
+                raise SimulationError("weight must be positive")
+            group.weight = weight
+        self._reschedule()
+
+    def current_rate(self, task: CpuTask) -> float:
+        """The task's instantaneous service rate in native CPU-seconds/s."""
+        return self._rates().get(task, 0.0)
+
+    def sync(self) -> None:
+        """Bring every task's ``remaining`` up to the current time.
+
+        Progress normally advances lazily at membership changes; call
+        this before reading ``task.remaining`` mid-run (monitors,
+        experiment harnesses).
+        """
+        self._advance()
+        self._reschedule()
+
+    # -- internals ----------------------------------------------------------
+
+    def _population(self) -> Tuple[List[CpuTask],
+                                   Dict[TaskGroup, List[CpuTask]]]:
+        singles: List[CpuTask] = []
+        groups: Dict[TaskGroup, List[CpuTask]] = {}
+        for task in self._active:
+            if task.group is None:
+                singles.append(task)
+            else:
+                groups.setdefault(task.group, []).append(task)
+        return singles, groups
+
+    def _shares(self) -> Dict[CpuTask, float]:
+        """Two-level weighted max-min fair core shares."""
+        singles, groups = self._population()
+        if not self._active:
+            return {}
+        entities: List[Tuple[object, float, float]] = []
+        for task in singles:
+            cap = 1.0
+            if task.max_rate is not None:
+                cap = min(cap, task.max_rate / self.speed)
+            entities.append((task, task.weight, cap))
+        for group, members in groups.items():
+            cap = float(min(group.vcpus, len(members)))
+            if group.max_rate is not None:
+                cap = min(cap, group.max_rate / self.speed)
+            entities.append((group, group.weight, cap))
+        top = _waterfill(entities, float(self.cores))
+
+        shares: Dict[CpuTask, float] = {}
+        for task in singles:
+            shares[task] = top[task]
+        for group, members in groups.items():
+            member_items = []
+            for task in members:
+                cap = 1.0
+                if task.max_rate is not None:
+                    cap = min(cap, task.max_rate / self.speed)
+                member_items.append((task, task.weight, cap))
+            shares.update(_waterfill(member_items, top[group]))
+        return shares
+
+    def _rates(self) -> Dict[CpuTask, float]:
+        """Instantaneous service rate per task, after overhead taxes."""
+        shares = self._shares()
+        singles, groups = self._population()
+        entity_count = len(singles) + len(groups)
+        contended = entity_count > self.cores
+        rates: Dict[CpuTask, float] = {}
+        for task, share in shares.items():
+            rate = share * self.speed * task.rate_factor
+            if contended:
+                extra = (task.group.extra_switch_cost if task.group
+                         else task.extra_switch_cost)
+                per_switch = self.context_switch_cost + extra
+                rate *= (1.0 - min(0.9, per_switch / self.quantum))
+            if task.group is not None:
+                members = groups[task.group]
+                if len(members) > task.group.vcpus \
+                        and task.group.member_switch_cost > 0:
+                    member_tax = min(0.9, task.group.member_switch_cost
+                                     / task.group.member_quantum)
+                    rate *= (1.0 - member_tax)
+            if task.max_rate is not None:
+                rate = min(rate, task.max_rate)
+            rates[task] = rate
+        return rates
+
+    def _advance(self) -> None:
+        """Charge all active tasks for service since the last update."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        if elapsed > 0 and self._active:
+            rates = self._rates()
+            shares = self._shares()
+            for task in self._active:
+                task.remaining = max(0.0,
+                                     task.remaining - elapsed * rates[task])
+                consumed = elapsed * shares[task] * self.speed
+                task.cpu_consumed += consumed
+                if task.group is not None:
+                    task.group.cpu_consumed += consumed
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Complete finished tasks and arm the next completion timer."""
+        now = self.sim.now
+        finished = [t for t in self._active if t.remaining <= _WORK_EPSILON]
+        for task in finished:
+            self._active.remove(task)
+            task.remaining = 0.0
+            task.finished_at = now
+            task.done.succeed(task)
+        rates = self._rates()
+        self.utilization.record(
+            now, sum(self._shares().values()) / self.cores if self._active
+            else 0.0)
+        singles, groups = self._population()
+        self.run_queue.record(now, float(len(singles) + len(groups)))
+
+        self._completion_generation += 1
+        generation = self._completion_generation
+        horizon = math.inf
+        for task in self._active:
+            rate = rates[task]
+            if rate > 0:
+                horizon = min(horizon, task.remaining / rate)
+        if horizon is math.inf:
+            return
+
+        def fire(event, generation=generation):
+            if generation != self._completion_generation:
+                return  # superseded by a later membership change
+            self._advance()
+            self._reschedule()
+
+        timer = self.sim.timeout(max(horizon, 0.0))
+        timer.callbacks.append(fire)
+
+    def __repr__(self) -> str:
+        return "<ProcessorSharingCpu %s cores=%d active=%d>" % (
+            self.name, self.cores, len(self._active))

@@ -1,0 +1,104 @@
+"""The physical machine: CPU + memory + disk + NIC + identity.
+
+A :class:`PhysicalMachine` is the unit a grid site contributes.  Its
+attributes (architecture, memory, cores, site) are what the information
+service in :mod:`repro.middleware.information` advertises, and its
+hardware components are what the host operating system, the VMM and the
+storage services consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.hardware.cpu import ProcessorSharingCpu
+from repro.hardware.disk import Disk
+from repro.hardware.nic import NetworkInterface
+from repro.simulation.kernel import Simulation, SimulationError
+
+__all__ = ["MachineSpec", "PhysicalMachine"]
+
+
+@dataclass
+class MachineSpec:
+    """Construction-time description of a physical machine.
+
+    The defaults approximate the paper's testbed: a dual Pentium III
+    class node with 512 MB-1 GB of memory, a commodity IDE disk and
+    100 Mb/s Ethernet.
+    """
+
+    cores: int = 2
+    cpu_speed: float = 1.0
+    memory_mb: int = 1024
+    disk_seek_time: float = 0.004
+    disk_transfer_rate: float = 40e6
+    nic_bandwidth: float = 12.5e6
+    architecture: str = "x86"
+    quantum: float = 0.01
+    context_switch_cost: float = 5e-6
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+class PhysicalMachine:
+    """A grid node: hardware plus site identity."""
+
+    def __init__(self, sim: Simulation, name: str, site: str = "local",
+                 spec: Optional[MachineSpec] = None):
+        if not name:
+            raise SimulationError("machine needs a name")
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.spec = spec or MachineSpec()
+        self.cpu = ProcessorSharingCpu(
+            sim,
+            cores=self.spec.cores,
+            speed=self.spec.cpu_speed,
+            quantum=self.spec.quantum,
+            context_switch_cost=self.spec.context_switch_cost,
+            name=name + ".cpu",
+        )
+        self.disk = Disk(
+            sim,
+            seek_time=self.spec.disk_seek_time,
+            transfer_rate=self.spec.disk_transfer_rate,
+            name=name + ".disk",
+        )
+        self.nic = NetworkInterface(
+            sim,
+            bandwidth=self.spec.nic_bandwidth,
+            name=name + ".nic",
+        )
+        #: The host operating system, attached by guestos.OperatingSystem.
+        self.host_os = None
+
+    @property
+    def memory_mb(self) -> int:
+        """Installed physical memory in megabytes."""
+        return self.spec.memory_mb
+
+    @property
+    def architecture(self) -> str:
+        """Instruction-set architecture (classic VMs require same-ISA)."""
+        return self.spec.architecture
+
+    def describe(self) -> Dict[str, Any]:
+        """Attribute dictionary for the grid information service."""
+        record = {
+            "name": self.name,
+            "site": self.site,
+            "architecture": self.architecture,
+            "cores": self.spec.cores,
+            "cpu_speed": self.spec.cpu_speed,
+            "memory_mb": self.memory_mb,
+            "disk_transfer_rate": self.spec.disk_transfer_rate,
+            "nic_bandwidth": self.spec.nic_bandwidth,
+        }
+        record.update(self.spec.attributes)
+        return record
+
+    def __repr__(self) -> str:
+        return "<PhysicalMachine %s@%s %d-core>" % (self.name, self.site,
+                                                    self.spec.cores)

@@ -1,0 +1,60 @@
+"""Network interface card: a rate-limited serialization point.
+
+Path latency and bandwidth sharing live in :mod:`repro.gridnet`; the NIC
+only models the end-host serialization bottleneck (a 100 Mb/s card cannot
+emit faster than 100 Mb/s no matter how fat the path is) plus an optional
+per-byte CPU-free copy overhead used by the VMM to price device
+emulation.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.kernel import Simulation, SimulationError
+from repro.simulation.resources import Resource
+
+__all__ = ["NetworkInterface"]
+
+
+class NetworkInterface:
+    """A full-duplex NIC with independent tx/rx serialization."""
+
+    def __init__(self, sim: Simulation, bandwidth: float = 12.5e6,
+                 per_byte_overhead: float = 0.0, name: str = "nic"):
+        if bandwidth <= 0 or per_byte_overhead < 0:
+            raise SimulationError("invalid NIC parameters")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.per_byte_overhead = float(per_byte_overhead)
+        self._tx = Resource(sim, capacity=1)
+        self._rx = Resource(sim, capacity=1)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto the wire."""
+        return nbytes * (1.0 / self.bandwidth + self.per_byte_overhead)
+
+    def transmit(self, nbytes: int):
+        """Process generator: occupy the tx side for ``nbytes``."""
+        yield from self._use(self._tx, nbytes)
+        self.bytes_sent += nbytes
+
+    def receive(self, nbytes: int):
+        """Process generator: occupy the rx side for ``nbytes``."""
+        yield from self._use(self._rx, nbytes)
+        self.bytes_received += nbytes
+
+    def _use(self, side: Resource, nbytes: int):
+        if nbytes < 0:
+            raise SimulationError("transfer size must be non-negative")
+        request = side.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.serialization_time(nbytes))
+        finally:
+            side.release(request)
+
+    def __repr__(self) -> str:
+        return "<NetworkInterface %s %.1f Mb/s>" % (self.name,
+                                                    self.bandwidth * 8 / 1e6)

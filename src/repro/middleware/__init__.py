@@ -1,0 +1,53 @@
+"""Grid middleware: the paper's Section 3/4 machinery.
+
+* :mod:`~repro.middleware.accounts` — logical user accounts decoupled
+  from physical site accounts (PUNCH-style);
+* :mod:`~repro.middleware.information` — an MDS/URGIS-like relational
+  information service advertising machines, images, VMs and *VM futures*,
+  with bounded-time partial queries;
+* :mod:`~repro.middleware.gram` — GRAM-style job dispatch (the
+  ``globusrun`` of Table 2);
+* :mod:`~repro.middleware.gridftp` — authenticated explicit transfers;
+* :mod:`~repro.middleware.imageserver` / :mod:`~repro.middleware.dataserver`
+  — the image and user-data archive services of Figure 2/3;
+* :mod:`~repro.middleware.session` — the six-step VM grid session life
+  cycle of Section 4.
+"""
+
+from repro.middleware.accounting import UsageMeter, UsageRecord
+from repro.middleware.accounts import AccountRegistry, LogicalUser
+from repro.middleware.archive import ArchivedVolume, TapeArchive
+from repro.middleware.cluster import VirtualCluster
+from repro.middleware.console import VncConsole
+from repro.middleware.dataserver import UserDataServer
+from repro.middleware.frontend import MiddlewareFrontend, ServiceProvider
+from repro.middleware.gram import GramGateway, GramJob
+from repro.middleware.gridftp import GridFtpService
+from repro.middleware.imageserver import ImageServer
+from repro.middleware.information import InformationService, VmFuture
+from repro.middleware.scheduler import MetaScheduler, PlacementDecision
+from repro.middleware.session import GridSession, SessionConfig
+
+__all__ = [
+    "AccountRegistry",
+    "ArchivedVolume",
+    "GramGateway",
+    "GramJob",
+    "GridFtpService",
+    "GridSession",
+    "ImageServer",
+    "InformationService",
+    "LogicalUser",
+    "MetaScheduler",
+    "MiddlewareFrontend",
+    "PlacementDecision",
+    "ServiceProvider",
+    "SessionConfig",
+    "TapeArchive",
+    "UsageMeter",
+    "UsageRecord",
+    "UserDataServer",
+    "VirtualCluster",
+    "VmFuture",
+    "VncConsole",
+]

@@ -1,0 +1,108 @@
+"""Logical user accounts.
+
+The paper (and its PUNCH lineage, Section 3.1) replaces per-site Unix
+accounts with *logical* users: grid identities whose rights are only to
+"instantiate and store virtual machines", while the identities inside a
+VM guest are completely decoupled from the identities of its host.  The
+registry below is the middleware-side half: grid credentials, per-site
+rights, and the mapping of logical users onto VM instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["LogicalUser", "AccountRegistry", "AuthorizationError"]
+
+#: Rights a logical user can hold at a site.
+RIGHTS = ("instantiate", "store", "query")
+
+
+class AuthorizationError(SimulationError):
+    """The logical user lacks the required right at the site."""
+
+
+class LogicalUser:
+    """A grid identity (an SSH key / Globus certificate subject)."""
+
+    def __init__(self, name: str, home_site: str = "home"):
+        if not name:
+            raise SimulationError("user needs a name")
+        self.name = name
+        self.home_site = home_site
+        #: VM names this user currently owns, per site.
+        self.vms: List[str] = []
+
+    def __repr__(self) -> str:
+        return "<LogicalUser %s@%s>" % (self.name, self.home_site)
+
+
+class AccountRegistry:
+    """Per-site rights for logical users.
+
+    Note what is *absent*: there is no Unix uid, no home directory, no
+    shell — root inside the guest is fine because "the actions of
+    malicious users are confined to their VMs" (Section 2.2).
+    """
+
+    def __init__(self):
+        self._users: Dict[str, LogicalUser] = {}
+        self._rights: Dict[str, Dict[str, Set[str]]] = {}
+
+    def register(self, user: LogicalUser) -> LogicalUser:
+        """Add a user to the registry."""
+        if user.name in self._users:
+            raise SimulationError("user %s already registered" % user.name)
+        self._users[user.name] = user
+        self._rights[user.name] = {}
+        return user
+
+    def create_user(self, name: str, home_site: str = "home") -> LogicalUser:
+        """Convenience: build and register in one step."""
+        return self.register(LogicalUser(name, home_site))
+
+    def lookup(self, name: str) -> LogicalUser:
+        """Find a registered user."""
+        if name not in self._users:
+            raise SimulationError("unknown user %s" % name)
+        return self._users[name]
+
+    def grant(self, user: str, site: str, *rights: str) -> None:
+        """Give ``user`` rights at ``site``."""
+        if user not in self._users:
+            raise SimulationError("unknown user %s" % user)
+        for right in rights:
+            if right not in RIGHTS:
+                raise SimulationError("unknown right %r" % right)
+        self._rights[user].setdefault(site, set()).update(rights)
+
+    def revoke(self, user: str, site: str, right: str) -> None:
+        """Remove one right."""
+        self._rights.get(user, {}).get(site, set()).discard(right)
+
+    def authorized(self, user: str, site: str, right: str) -> bool:
+        """Check a right without raising."""
+        return right in self._rights.get(user, {}).get(site, set())
+
+    def require(self, user: str, site: str, right: str) -> None:
+        """Raise :class:`AuthorizationError` unless the right is held."""
+        if not self.authorized(user, site, right):
+            raise AuthorizationError(
+                "%s may not %s at %s" % (user, right, site))
+
+    def bind_vm(self, user: str, vm_name: str) -> None:
+        """Record that a VM instance belongs to a logical user."""
+        self.lookup(user).vms.append(vm_name)
+
+    def release_vm(self, user: str, vm_name: str) -> None:
+        """Drop the binding when a VM's life cycle ends."""
+        owner = self.lookup(user)
+        if vm_name in owner.vms:
+            owner.vms.remove(vm_name)
+
+    def users_at(self, site: str) -> List[str]:
+        """Users holding any right at a site."""
+        return sorted(u for u, sites in self._rights.items() if site in sites
+                      and sites[site])

@@ -1,0 +1,124 @@
+"""Long-term VM image archival: the end of the life cycle.
+
+Section 4: "Infrequently run virtual machine images will be migrated to
+tape.  The life cycle of a virtual machine ends when the image is
+removed from permanent storage."
+
+The archive is a tape-library tier behind an image server: writes
+stream at tape speed after a mount delay; retrievals pay the same plus
+a queue for the (single) drive.  A hibernated VM session — its disk
+diff and memory state — can be packed into an archive volume, its
+online storage reclaimed, and later revived onto any host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simulation.kernel import Simulation, SimulationError
+from repro.simulation.resources import Resource
+from repro.storage.base import FileSystem
+
+__all__ = ["TapeArchive", "ArchivedVolume"]
+
+
+class ArchivedVolume:
+    """One archived VM: the bundle of state files on tape."""
+
+    def __init__(self, name: str, files: Dict[str, int], archived_at: float):
+        self.name = name
+        self.files = dict(files)
+        self.archived_at = archived_at
+        self.retrieved_count = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Volume payload."""
+        return sum(self.files.values())
+
+    def __repr__(self) -> str:
+        return "<ArchivedVolume %s %.1fMB>" % (self.name,
+                                               self.total_bytes / 1e6)
+
+
+class TapeArchive:
+    """A single-drive tape library attached to a storage host."""
+
+    def __init__(self, sim: Simulation, mount_time: float = 45.0,
+                 transfer_rate: float = 12e6, name: str = "tape"):
+        if mount_time < 0 or transfer_rate <= 0:
+            raise SimulationError("invalid tape parameters")
+        self.sim = sim
+        self.name = name
+        self.mount_time = float(mount_time)
+        self.transfer_rate = float(transfer_rate)
+        self._drive = Resource(sim, capacity=1)
+        self._volumes: Dict[str, ArchivedVolume] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def volumes(self) -> List[str]:
+        """Names of archived volumes."""
+        return sorted(self._volumes)
+
+    def lookup(self, name: str) -> ArchivedVolume:
+        """Find a volume."""
+        if name not in self._volumes:
+            raise SimulationError("no archived volume %s" % name)
+        return self._volumes[name]
+
+    def _use_drive(self, nbytes: int):
+        request = self._drive.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.mount_time)
+            yield self.sim.timeout(nbytes / self.transfer_rate)
+        finally:
+            self._drive.release(request)
+
+    def archive(self, volume_name: str, source_fs: FileSystem,
+                files: List[str], delete_online: bool = True):
+        """Process generator: stream files to tape; reclaim online space.
+
+        Returns the :class:`ArchivedVolume`.
+        """
+        if volume_name in self._volumes:
+            raise SimulationError("volume %s already archived" % volume_name)
+        sizes: Dict[str, int] = {}
+        for name in files:
+            if not source_fs.exists(name):
+                raise SimulationError("cannot archive missing file %s"
+                                      % name)
+            sizes[name] = source_fs.size(name)
+        total = sum(sizes.values())
+        # Read from disk and stream to tape (drive held throughout).
+        for name in files:
+            yield from source_fs.read(name, 0, sizes[name], sequential=True)
+        yield from self._use_drive(total)
+        self.bytes_written += total
+        if delete_online:
+            for name in files:
+                source_fs.delete(name)
+        volume = ArchivedVolume(volume_name, sizes, self.sim.now)
+        self._volumes[volume_name] = volume
+        return volume
+
+    def retrieve(self, volume_name: str, dest_fs: FileSystem):
+        """Process generator: bring a volume back to online storage."""
+        volume = self.lookup(volume_name)
+        yield from self._use_drive(volume.total_bytes)
+        for name, size in volume.files.items():
+            yield from dest_fs.write(name, 0, size, sequential=True)
+        self.bytes_read += volume.total_bytes
+        volume.retrieved_count += 1
+        return volume
+
+    def remove(self, volume_name: str) -> None:
+        """End a VM's life cycle: delete its state from permanent storage."""
+        self.lookup(volume_name)
+        del self._volumes[volume_name]
+
+    def __repr__(self) -> str:
+        return "<TapeArchive %s volumes=%d>" % (self.name,
+                                                len(self._volumes))

@@ -1,0 +1,163 @@
+"""Virtual clusters: co-allocated VMs joined by an overlay network.
+
+Section 3.3's closing move: "A natural extension to this simple VPN in
+which all remote hosts appear on the local network is to establish an
+overlay network among the remote virtual machines.  The overlay network
+would optimize itself with respect to the communication between the
+virtual machines and the limitations of the various sites on which they
+run."
+
+A :class:`VirtualCluster` deploys one session per member VM (on
+distinct hosts when possible), joins every member's host to a shared
+:class:`~repro.gridnet.overlay.OverlayNetwork`, runs the overlay's
+self-measurement, and offers collective communication that routes
+member-to-member traffic along overlay paths — relaying through other
+members when the direct Internet path is worse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gridnet.overlay import OverlayNetwork
+from repro.middleware.session import GridSession, SessionConfig
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["VirtualCluster"]
+
+
+class VirtualCluster:
+    """A user's set of cooperating VMs with self-optimized networking."""
+
+    def __init__(self, grid, user: str, image: str, size: int,
+                 session_overrides: Optional[dict] = None,
+                 per_hop_forwarding_cost: float = 0.5e-3):
+        if size < 2:
+            raise SimulationError("a cluster needs at least two members")
+        self.sim = grid.sim
+        self.grid = grid
+        self.user = user
+        self.image = image
+        self.size = size
+        self.session_overrides = dict(session_overrides or {})
+        self.sessions: List[GridSession] = []
+        self.overlay = OverlayNetwork(
+            grid.sim, grid.network,
+            per_hop_forwarding_cost=per_hop_forwarding_cost)
+        self._deployed = False
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self):
+        """Process generator: establish members and bring the overlay up.
+
+        Each member prefers a host no other member uses (distinct
+        failure/latency domains); members double up only when the grid
+        runs out of willing hosts.
+        """
+        if self._deployed:
+            raise SimulationError("cluster already deployed")
+        used_hosts: List[str] = []
+        for index in range(self.size):
+            config = SessionConfig(
+                user=self.user, image=self.image,
+                vm_name="%s-node%d" % (self.user, index),
+                **self.session_overrides)
+            session = self.grid.new_session(config)
+            yield from self._establish_preferring_new_host(session,
+                                                           used_hosts)
+            host = session.vmm.machine.name
+            used_hosts.append(host)
+            if host not in self.overlay.members:
+                self.overlay.join(host)
+            self.sessions.append(session)
+        yield from self.overlay.measure()
+        self._deployed = True
+        return self
+
+    def _establish_preferring_new_host(self, session: GridSession,
+                                       used_hosts: List[str]):
+        """Steer the future query away from already-used hosts."""
+        candidates = self.grid.info.select("vm_futures", count__gt=0)
+        fresh = [c for c in candidates if c["host"] not in used_hosts]
+        if fresh:
+            session.config.host_constraints.setdefault(
+                "host", fresh[0]["host"])
+        yield from session.establish()
+
+    @property
+    def members(self) -> List[str]:
+        """Member VM names, in deployment order."""
+        return [s.vm.name for s in self.sessions]
+
+    def host_of(self, member_index: int) -> str:
+        """The physical host of one member."""
+        return self.sessions[member_index].vmm.machine.name
+
+    # -- communication --------------------------------------------------------------
+
+    def transfer(self, src_index: int, dst_index: int, nbytes: float):
+        """Process generator: member-to-member data over the overlay.
+
+        The payload follows the overlay route hop by hop (application-
+        level relaying through member hosts).  Returns (seconds, path).
+        """
+        self._require_deployed()
+        src = self.host_of(src_index)
+        dst = self.host_of(dst_index)
+        start = self.sim.now
+        if src == dst:
+            return (0.0, [src])
+        path = self.overlay.overlay_route(src, dst)
+        for hop_src, hop_dst in zip(path, path[1:]):
+            yield from self.grid.engine.transfer(hop_src, hop_dst, nbytes,
+                                                 setup_round_trips=0.0)
+            if hop_dst != dst:
+                yield self.sim.timeout(
+                    self.overlay.per_hop_forwarding_cost)
+        return (self.sim.now - start, path)
+
+    def exchange(self, nbytes: float):
+        """Process generator: concurrent all-pairs exchange.
+
+        Every ordered pair sends ``nbytes``; returns the wall time of
+        the slowest transfer (the collective's completion time).
+        """
+        self._require_deployed()
+        start = self.sim.now
+        procs = []
+        for i in range(self.size):
+            for j in range(self.size):
+                if i != j:
+                    procs.append(self.sim.spawn(
+                        self.transfer(i, j, nbytes),
+                        name="exchange-%d-%d" % (i, j)))
+        if procs:
+            yield self.sim.all_of(procs)
+        return self.sim.now - start
+
+    def latency_matrix(self) -> Dict[Tuple[str, str], float]:
+        """Overlay latency between all member-host pairs."""
+        self._require_deployed()
+        hosts = sorted(set(self.overlay.members))
+        matrix = {}
+        for a in hosts:
+            for b in hosts:
+                if a != b:
+                    matrix[(a, b)] = self.overlay.overlay_latency(a, b)
+        return matrix
+
+    def teardown(self):
+        """Process generator: shut every member down."""
+        for session in self.sessions:
+            yield from session.shutdown()
+        self.sessions = []
+        self._deployed = False
+
+    def _require_deployed(self) -> None:
+        if not self._deployed:
+            raise SimulationError("cluster is not deployed")
+
+    def __repr__(self) -> str:
+        return "<VirtualCluster %s size=%d deployed=%s>" % (
+            self.user, self.size, self._deployed)

@@ -1,0 +1,97 @@
+"""Interactive session handles: the console / VNC path of step 6.
+
+Section 4: "if it is an interactive application, a handle is provided
+back to the user (e.g. a login session, or a virtual display session
+such as VNC)" and "the user can have the choice of whether to be
+presented with a console for the virtual machine".
+
+The console models the interactive loop: a keystroke travels from the
+user's machine to the VM host, the guest spends a sliver of CPU
+producing a screen update, and the update travels back.  Round-trip
+latencies expose exactly what resource control and migration do to
+interactive users — the paper's stated reason owners want caps that
+protect "a desktop executing interactive applications".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulation.kernel import SimulationError
+from repro.simulation.monitor import StatAccumulator
+from repro.workloads.applications import KernelEventRates
+
+__all__ = ["VncConsole"]
+
+#: Guest CPU per echo/redraw (terminal-scale, not full-screen video).
+_ECHO_CPU = 0.004
+#: Bytes of framebuffer delta per update.
+_UPDATE_BYTES = 24 * 1024
+
+
+class VncConsole:
+    """A virtual display session between a user's machine and a VM."""
+
+    def __init__(self, grid, vm, client_host: str):
+        if not grid.network.has_host(client_host):
+            raise SimulationError("unknown client host %s" % client_host)
+        self.sim = grid.sim
+        self.grid = grid
+        self.vm = vm
+        self.client_host = client_host
+        self.latency = StatAccumulator("console.rtt")
+        self._keystrokes = 0
+
+    @property
+    def vm_host(self) -> str:
+        """The VM's current physical host (changes under migration)."""
+        return self.vm.vmm.machine.name
+
+    def keystroke(self):
+        """Process generator: one interactive round trip.
+
+        Returns the observed round-trip time, and records it.
+        """
+        start = self.sim.now
+        network = self.grid.network
+        engine = self.grid.engine
+        # Input event to the VM host (tiny payload: latency-bound).
+        yield self.sim.timeout(network.latency(self.client_host,
+                                               self.vm_host))
+        # The guest handles the event and renders an update.
+        yield from self.vm.run_compute(
+            "console-echo", _ECHO_CPU, _ECHO_CPU * 0.4,
+            KernelEventRates(syscalls_per_sec=2000.0))
+        # Screen delta back to the client (payload-bound).
+        yield from engine.transfer(self.vm_host, self.client_host,
+                                   _UPDATE_BYTES, setup_round_trips=0.0)
+        rtt = self.sim.now - start
+        self.latency.add(rtt)
+        self._keystrokes += 1
+        return rtt
+
+    def typing_burst(self, count: int = 20, think_time: float = 0.15):
+        """Process generator: a burst of keystrokes with think time.
+
+        Returns the list of observed round-trip times.
+        """
+        if count < 1:
+            raise SimulationError("burst needs at least one keystroke")
+        rtts: List[float] = []
+        for _i in range(count):
+            rtt = yield from self.keystroke()
+            rtts.append(rtt)
+            if think_time:
+                yield self.sim.timeout(think_time)
+        return rtts
+
+    def responsive(self, threshold: float = 0.2) -> bool:
+        """Is the session usable? (sub-200 ms echo, the classic bar)."""
+        if self.latency.count == 0:
+            raise SimulationError("no keystrokes measured yet")
+        return self.latency.mean < threshold
+
+    def __repr__(self) -> str:
+        return "<VncConsole %s->%s n=%d mean=%.0fms>" % (
+            self.client_host, self.vm.name, self.latency.count,
+            1e3 * self.latency.mean if self.latency.count else 0.0)

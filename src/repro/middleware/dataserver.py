@@ -1,0 +1,119 @@
+"""The user data server (Figure 2's server D).
+
+Holds user files, exports them over NFS, and — crucially — is mounted
+*from inside VM guests* (Figure 2: "proxies within virtual machines
+cache user blocks from a data server D"), so user data follows the
+logical user to whatever VM they are given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gridnet.flows import FlowEngine
+from repro.guestos.interface import PhysicalHost
+from repro.simulation.kernel import SimulationError
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.nfs import NfsClient, NfsMount, NfsServer
+from repro.storage.pvfs import PvfsProxy
+
+__all__ = ["UserDataServer"]
+
+
+class UserDataServer:
+    """Per-user file areas on a storage host."""
+
+    def __init__(self, host: PhysicalHost, engine: FlowEngine,
+                 name: str = ""):
+        self.sim = host.sim
+        self.host = host
+        self.engine = engine
+        self.name = name or ("data@" + host.name)
+        self.fs: LocalFileSystem = host.root_fs
+        self.nfs = NfsServer(self.sim, host.machine.name, self.fs, engine,
+                             name=self.name + ".nfsd")
+        self._files_by_user: Dict[str, List[str]] = {}
+
+    @staticmethod
+    def _user_path(user: str, path: str) -> str:
+        return "%s:%s" % (user, path)
+
+    def store(self, user: str, path: str, size: int) -> None:
+        """Place a user file on the server (metadata only)."""
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        name = self._user_path(user, path)
+        self.fs.create(name, size)
+        self._files_by_user.setdefault(user, []).append(path)
+
+    def files_of(self, user: str) -> List[str]:
+        """Paths stored for one user."""
+        return list(self._files_by_user.get(user, []))
+
+    def mount_from(self, client_host: str, user: str,
+                   cache_bytes: float = 32 * 1024 * 1024,
+                   with_proxy: bool = True):
+        """A (proxied) mount of this server from a client host or guest.
+
+        Returns a file system rooted at the user's area; with
+        ``with_proxy`` a PVFS proxy adds client-side caching and write
+        buffering, as in Figure 2.
+        """
+        client = NfsClient(self.sim, client_host, self.engine,
+                           cache_bytes=cache_bytes)
+        mount = client.mount(self.nfs, name="%s-%s-on-%s"
+                             % (self.name, user, client_host))
+        scoped = _UserScopedFs(mount, user)
+        if with_proxy:
+            return PvfsProxy(self.sim, scoped,
+                             cache_bytes=cache_bytes,
+                             name="pvfs-%s@%s" % (user, client_host))
+        return scoped
+
+    def __repr__(self) -> str:
+        return "<UserDataServer %s users=%d>" % (self.name,
+                                                 len(self._files_by_user))
+
+
+class _UserScopedFs:
+    """A view of an NFS mount restricted to one user's namespace."""
+
+    def __init__(self, mount: NfsMount, user: str):
+        self._mount = mount
+        self._user = user
+        self.block_size = mount.block_size
+        self.name = "%s[%s]" % (mount.name, user)
+
+    def _scoped(self, name: str) -> str:
+        return "%s:%s" % (self._user, name)
+
+    def exists(self, name):
+        return self._mount.exists(self._scoped(name))
+
+    def size(self, name):
+        return self._mount.size(self._scoped(name))
+
+    def listdir(self):
+        prefix = self._user + ":"
+        return [n[len(prefix):] for n in self._mount.listdir()
+                if n.startswith(prefix)]
+
+    def create(self, name, size=0):
+        self._mount.create(self._scoped(name), size)
+
+    def delete(self, name):
+        self._mount.delete(self._scoped(name))
+
+    def read(self, name, offset, nbytes, sequential=True):
+        yield from self._mount.read(self._scoped(name), offset, nbytes,
+                                    sequential=sequential)
+
+    def write(self, name, offset, nbytes, sequential=True):
+        yield from self._mount.write(self._scoped(name), offset, nbytes,
+                                     sequential=sequential)
+
+    def read_file(self, name):
+        yield from self._mount.read_file(self._scoped(name))
+
+    def __repr__(self):
+        return "<UserScopedFs %s>" % self.name

@@ -1,0 +1,195 @@
+"""The middleware front-end and service-provider scenario of Figure 3.
+
+Figure 3 shows two deployment patterns side by side:
+
+* a VM (V4) "dynamically created by middleware front-end F on behalf of
+  user X.  This VM is dedicated to a single user";
+* VMs V1, V2 "instantiated on P2 on behalf of a service provider S, and
+  multiplexed across users A, B, C and applications provided by S.  The
+  logical user account abstraction decouples access to physical
+  resources (middleware) from access to virtual resources (end-users
+  and services)" — the PUNCH model.
+
+:class:`MiddlewareFrontend` implements F: it owns the dedicated-VM path
+(a thin wrapper over :class:`~repro.middleware.session.GridSession`)
+and the provider path through :class:`ServiceProvider`, which keeps a
+pool of warm *virtual back-ends* and dispatches end-user requests onto
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.middleware.session import GridSession, SessionConfig
+from repro.simulation.kernel import SimulationError
+from repro.workloads.applications import Application
+
+__all__ = ["MiddlewareFrontend", "ServiceProvider", "RequestOutcome"]
+
+
+class RequestOutcome:
+    """Accounting for one end-user request served by a provider."""
+
+    def __init__(self, user: str, backend: str, queued: float,
+                 started: float, finished: float, user_time: float,
+                 sys_time: float):
+        self.user = user
+        self.backend = backend
+        self.queued_at = queued
+        self.started_at = started
+        self.finished_at = finished
+        self.user_time = user_time
+        self.sys_time = sys_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for a free back-end."""
+        return self.started_at - self.queued_at
+
+    @property
+    def service_time(self) -> float:
+        """Time on the back-end."""
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return "<RequestOutcome %s on %s wait=%.1fs run=%.1fs>" % (
+            self.user, self.backend, self.queue_delay, self.service_time)
+
+
+class ServiceProvider:
+    """A provider S multiplexing logical users over warm back-end VMs.
+
+    The provider owns the VM sessions (they run under *its* grid
+    identity); end users never touch the physical resources — they hold
+    only logical accounts with the provider, exactly the decoupling the
+    paper's Figure 3 caption describes.
+    """
+
+    def __init__(self, grid, name: str, image: str,
+                 backends: int = 2, session_template: Optional[dict] = None):
+        if backends < 1:
+            raise SimulationError("provider needs at least one back-end")
+        self.sim = grid.sim
+        self.grid = grid
+        self.name = name
+        self.image = image
+        self.backends = backends
+        self.session_template = dict(session_template or {})
+        self.sessions: List[GridSession] = []
+        self.outcomes: List[RequestOutcome] = []
+        self._free = None   # Store of idle sessions, built at deploy time
+        self._users: List[str] = []
+
+    def register_user(self, user: str) -> None:
+        """Give an end user a logical account *with the provider*."""
+        if user in self._users:
+            raise SimulationError("user %s already registered with %s"
+                                  % (user, self.name))
+        self._users.append(user)
+
+    @property
+    def users(self) -> List[str]:
+        """End users the provider serves."""
+        return list(self._users)
+
+    def deploy(self):
+        """Process generator: instantiate the warm back-end pool.
+
+        The provider's grid identity must hold ``instantiate`` rights;
+        back-ends are dedicated VMs named ``<provider>-V<i>``.
+        """
+        from repro.simulation.resources import Store
+
+        if self.sessions:
+            raise SimulationError("%s is already deployed" % self.name)
+        self._free = Store(self.sim)
+        for index in range(self.backends):
+            overrides = dict(self.session_template)
+            overrides.setdefault("start_mode", "restore")
+            config = SessionConfig(
+                user=self.name, image=self.image,
+                vm_name="%s-V%d" % (self.name, index + 1), **overrides)
+            session = self.grid.new_session(config)
+            yield from session.establish()
+            self.sessions.append(session)
+            yield self._free.put(session)
+        return len(self.sessions)
+
+    def submit(self, user: str, app: Application):
+        """Process generator: serve one end-user request.
+
+        Blocks until a back-end is free, runs the application there
+        under the user's logical identity, and releases the back-end.
+        """
+        if user not in self._users:
+            raise SimulationError("%s is not registered with %s"
+                                  % (user, self.name))
+        if self._free is None:
+            raise SimulationError("%s is not deployed" % self.name)
+        queued = self.sim.now
+        session = yield self._free.get()
+        started = self.sim.now
+        try:
+            result = yield from session.run_application(
+                app, pname="%s:%s" % (user, app.name))
+        finally:
+            yield self._free.put(session)
+        outcome = RequestOutcome(user, session.vm.name, queued, started,
+                                 self.sim.now, result.user_time,
+                                 result.sys_time)
+        self.outcomes.append(outcome)
+        return outcome
+
+    def teardown(self):
+        """Process generator: shut the pool down."""
+        for session in self.sessions:
+            yield from session.shutdown()
+        self.sessions = []
+        self._free = None
+
+    def utilization_summary(self) -> Dict[str, float]:
+        """Per-back-end busy time (for capacity planning)."""
+        busy: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            busy[outcome.backend] = busy.get(outcome.backend, 0.0) \
+                + outcome.service_time
+        return busy
+
+    def __repr__(self) -> str:
+        return "<ServiceProvider %s backends=%d served=%d>" % (
+            self.name, len(self.sessions), len(self.outcomes))
+
+
+class MiddlewareFrontend:
+    """Front-end F: the entry point users and providers talk to."""
+
+    def __init__(self, grid, name: str = "frontend"):
+        self.sim = grid.sim
+        self.grid = grid
+        self.name = name
+        self.dedicated_sessions: List[GridSession] = []
+        self.providers: Dict[str, ServiceProvider] = {}
+
+    def create_dedicated_vm(self, user: str, image: str, **overrides):
+        """Process generator: Figure 3 steps 1-6 for a dedicated VM."""
+        config = SessionConfig(user=user, image=image, **overrides)
+        session = self.grid.new_session(config)
+        yield from session.establish()
+        self.dedicated_sessions.append(session)
+        return session
+
+    def create_provider(self, name: str, image: str, backends: int = 2,
+                        **session_overrides) -> ServiceProvider:
+        """Register a service provider (deploy it separately)."""
+        if name in self.providers:
+            raise SimulationError("provider %s already exists" % name)
+        provider = ServiceProvider(self.grid, name, image,
+                                   backends=backends,
+                                   session_template=session_overrides)
+        self.providers[name] = provider
+        return provider
+
+    def __repr__(self) -> str:
+        return "<MiddlewareFrontend %s dedicated=%d providers=%d>" % (
+            self.name, len(self.dedicated_sessions), len(self.providers))

@@ -1,0 +1,92 @@
+"""GRAM-style job dispatch: the ``globusrun`` of Table 2.
+
+Table 2's startup times are "measured as wall-clock execution time from
+the beginning to the end of the execution of globusrun" (Globus 2.0
+toolkit).  A submission therefore pays, around the actual work:
+
+* GSI mutual authentication (public-key handshakes, ~seconds in 2002),
+* gatekeeper fork + jobmanager startup on the resource,
+* and completion detection by jobmanager polling, which adds a uniform
+  0..poll_interval delay — the main source of run-to-run variance for
+  the fast (restore) configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator, Optional
+
+from repro.simulation.kernel import Simulation, SimulationError
+
+__all__ = ["GramGateway", "GramJob"]
+
+
+class GramJob:
+    """One dispatched job and its timing breakdown."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.result: Any = None
+
+    @property
+    def total_time(self) -> Optional[float]:
+        """globusrun wall-clock: submission to observed completion."""
+        if self.submitted_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def middleware_overhead(self) -> Optional[float]:
+        """Time not spent in the job body itself."""
+        if None in (self.submitted_at, self.started_at, self.completed_at):
+            return None
+        return self.total_time - (self.completed_at - self.started_at)
+
+    def __repr__(self) -> str:
+        return "<GramJob %s total=%s>" % (self.name, self.total_time)
+
+
+class GramGateway:
+    """The gatekeeper + jobmanager of one resource."""
+
+    def __init__(self, sim: Simulation, resource_name: str,
+                 auth_time: float = 1.5, jobmanager_start: float = 0.6,
+                 poll_interval: float = 2.0,
+                 rng: Optional[random.Random] = None):
+        if min(auth_time, jobmanager_start, poll_interval) < 0:
+            raise SimulationError("GRAM times must be non-negative")
+        self.sim = sim
+        self.resource_name = resource_name
+        self.auth_time = float(auth_time)
+        self.jobmanager_start = float(jobmanager_start)
+        self.poll_interval = float(poll_interval)
+        self.rng = rng or random.Random(0)
+        self.jobs_dispatched = 0
+
+    def submit(self, body: Generator, name: str = "job"):
+        """Process generator: run ``body`` under globusrun timing.
+
+        Returns the :class:`GramJob` with the body's return value in
+        ``job.result``.
+        """
+        job = GramJob(name)
+        job.submitted_at = self.sim.now
+        # GSI authentication: some run-to-run jitter from network/CPU.
+        yield self.sim.timeout(self.auth_time
+                               * (1.0 + self.rng.uniform(-0.15, 0.15)))
+        yield self.sim.timeout(self.jobmanager_start)
+        job.started_at = self.sim.now
+        job.result = yield from body
+        # The jobmanager notices completion at its next poll.
+        if self.poll_interval > 0:
+            yield self.sim.timeout(self.rng.uniform(0.0, self.poll_interval))
+        job.completed_at = self.sim.now
+        self.jobs_dispatched += 1
+        return job
+
+    def __repr__(self) -> str:
+        return "<GramGateway %s jobs=%d>" % (self.resource_name,
+                                             self.jobs_dispatched)

@@ -1,0 +1,100 @@
+"""The image server: archives static VM states (Figure 2's server I).
+
+An image server is a host with a file system holding base OS images and
+warm memory-state files, an NFS export so compute servers can mount it,
+and a catalogue it publishes to the information service.  Master images
+are read-only shared — the access pattern the PVFS proxy cache exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.gridnet.flows import FlowEngine
+from repro.guestos.interface import PhysicalHost
+from repro.simulation.kernel import Simulation, SimulationError
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.nfs import NfsClient, NfsMount, NfsServer
+from repro.vmm.disk_image import DiskImage
+
+__all__ = ["ImageServer"]
+
+
+class ImageServer:
+    """Archive of base OS images and warm memory states."""
+
+    def __init__(self, host: PhysicalHost, engine: FlowEngine,
+                 name: str = ""):
+        self.sim = host.sim
+        self.host = host
+        self.engine = engine
+        self.name = name or ("images@" + host.name)
+        self.fs: LocalFileSystem = host.root_fs
+        self.nfs = NfsServer(self.sim, host.machine.name, self.fs, engine,
+                             name=self.name + ".nfsd")
+        #: image name -> (DiskImage, metadata)
+        self._catalogue: Dict[str, Tuple[DiskImage, dict]] = {}
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish_image(self, name: str, size_bytes: int,
+                      os_name: str = "redhat-7.2",
+                      warm_state_mb: Optional[int] = None,
+                      **metadata) -> DiskImage:
+        """Create and catalogue a master image (plus optional warm state).
+
+        ``warm_state_mb`` also stores a post-boot memory-state file so
+        VM-restore startups are possible from this image.
+        """
+        if name in self._catalogue:
+            raise SimulationError("image %s already published" % name)
+        image = DiskImage(self.fs, name, size_bytes, create=True)
+        record = dict(metadata)
+        record.update({
+            "image": name,
+            "os": os_name,
+            "size_bytes": size_bytes,
+            "server": self.host.machine.name,
+            "site": self.host.machine.site,
+            "has_warm_state": warm_state_mb is not None,
+        })
+        if warm_state_mb is not None:
+            self.fs.create(self.memstate_name(name),
+                           warm_state_mb * 1024 * 1024)
+        self._catalogue[name] = (image, record)
+        return image
+
+    @staticmethod
+    def memstate_name(image_name: str) -> str:
+        """File name of an image's warm (post-boot) memory state."""
+        return image_name + ".memstate"
+
+    def lookup(self, name: str) -> DiskImage:
+        """Fetch a catalogued image handle."""
+        if name not in self._catalogue:
+            raise SimulationError("no image named %s" % name)
+        return self._catalogue[name][0]
+
+    def record(self, name: str) -> dict:
+        """The information-service record for one image."""
+        if name not in self._catalogue:
+            raise SimulationError("no image named %s" % name)
+        return dict(self._catalogue[name][1])
+
+    def records(self):
+        """All catalogue records (for registration)."""
+        return [dict(meta) for _img, meta in self._catalogue.values()]
+
+    # -- access ----------------------------------------------------------------
+
+    def mount_from(self, client_host: str,
+                   cache_bytes: float = 64 * 1024 * 1024) -> NfsMount:
+        """An NFS mount of this server as seen from ``client_host``."""
+        client = NfsClient(self.sim, client_host, self.engine,
+                           cache_bytes=cache_bytes)
+        return client.mount(self.nfs, name="%s-on-%s" % (self.name,
+                                                         client_host))
+
+    def __repr__(self) -> str:
+        return "<ImageServer %s images=%d>" % (self.name,
+                                               len(self._catalogue))

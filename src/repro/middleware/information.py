@@ -1,0 +1,183 @@
+"""A relational grid information service with VM futures.
+
+Section 3.2 ("Application perspective"): resources are discovered by
+posing relational queries with joins; "such queries are non-deterministic
+and return partial results in a bounded amount of time".  Virtual
+machines register when instantiated; hosts advertise "what kinds and how
+many virtual machines they were willing to instantiate (virtual machine
+futures)".
+
+Records are plain attribute dictionaries in named tables.  Constraints
+use Django-style suffixes: ``memory_mb__ge=256``, ``site="uf"``,
+``state__ne="terminated"``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.simulation.kernel import Simulation, SimulationError
+
+__all__ = ["InformationService", "VmFuture"]
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "ge": lambda a, b: a is not None and a >= b,
+    "gt": lambda a, b: a is not None and a > b,
+    "le": lambda a, b: a is not None and a <= b,
+    "lt": lambda a, b: a is not None and a < b,
+    "contains": lambda a, b: a is not None and b in a,
+}
+
+
+class VmFuture:
+    """A host's advertisement: 'I am willing to instantiate such VMs'."""
+
+    def __init__(self, host: str, site: str, count: int,
+                 max_memory_mb: int, architecture: str = "x86",
+                 scheduling: Optional[str] = None):
+        if count < 0 or max_memory_mb <= 0:
+            raise SimulationError("invalid VM future")
+        self.host = host
+        self.site = site
+        self.count = count
+        self.max_memory_mb = max_memory_mb
+        self.architecture = architecture
+        #: How VMs are mapped onto the hardware (from the constraint
+        #: compiler, Section 3.2), e.g. "proportional-share" or
+        #: "periodic period=0.1".
+        self.scheduling = scheduling
+
+    def describe(self) -> Dict[str, Any]:
+        """The record this future publishes."""
+        return {
+            "host": self.host,
+            "site": self.site,
+            "count": self.count,
+            "max_memory_mb": self.max_memory_mb,
+            "architecture": self.architecture,
+            "scheduling": self.scheduling,
+        }
+
+    def __repr__(self) -> str:
+        return "<VmFuture %s x%d <=%dMB>" % (self.host, self.count,
+                                             self.max_memory_mb)
+
+
+class InformationService:
+    """Named tables of resource records with bounded partial queries."""
+
+    TABLES = ("machines", "vm_futures", "vms", "images", "data_servers")
+
+    def __init__(self, sim: Simulation, query_latency: float = 0.15,
+                 rng: Optional[random.Random] = None):
+        if query_latency < 0:
+            raise SimulationError("query latency must be non-negative")
+        self.sim = sim
+        self.query_latency = float(query_latency)
+        self.rng = rng or random.Random(0)
+        self._tables: Dict[str, List[Dict[str, Any]]] = {
+            table: [] for table in self.TABLES}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, table: str, record: Dict[str, Any]) -> None:
+        """Publish one record."""
+        if table not in self._tables:
+            raise SimulationError("unknown table %s" % table)
+        self._tables[table].append(dict(record))
+
+    def unregister(self, table: str, **match) -> int:
+        """Withdraw records matching exact attribute values."""
+        if table not in self._tables:
+            raise SimulationError("unknown table %s" % table)
+        keep, dropped = [], 0
+        for record in self._tables[table]:
+            if all(record.get(k) == v for k, v in match.items()):
+                dropped += 1
+            else:
+                keep.append(record)
+        self._tables[table] = keep
+        return dropped
+
+    def table_size(self, table: str) -> int:
+        """Records currently in a table."""
+        return len(self._tables[table])
+
+    # -- querying ---------------------------------------------------------------
+
+    @staticmethod
+    def _matches(record: Dict[str, Any], constraints: Dict[str, Any]) -> bool:
+        for key, expected in constraints.items():
+            field, _sep, op = key.partition("__")
+            op = op or "eq"
+            if op not in _OPERATORS:
+                raise SimulationError("unknown operator %r" % op)
+            if not _OPERATORS[op](record.get(field), expected):
+                return False
+        return True
+
+    def select(self, table: str, **constraints) -> List[Dict[str, Any]]:
+        """Instant (cost-free) exact selection — for middleware internals."""
+        if table not in self._tables:
+            raise SimulationError("unknown table %s" % table)
+        return [dict(r) for r in self._tables[table]
+                if self._matches(r, constraints)]
+
+    def query(self, table: str, limit: Optional[int] = None,
+              time_bound: Optional[float] = None, **constraints):
+        """Process generator: a bounded, non-deterministic query.
+
+        Scans records in random order and stops early when ``limit``
+        results are found or the time bound expires, returning partial
+        results — the URGIS semantics.
+        """
+        if table not in self._tables:
+            raise SimulationError("unknown table %s" % table)
+        records = list(self._tables[table])
+        self.rng.shuffle(records)
+        per_record = self.query_latency / max(1, len(records))
+        budget = time_bound if time_bound is not None else float("inf")
+        results: List[Dict[str, Any]] = []
+        spent = 0.0
+        for record in records:
+            cost = min(per_record, budget - spent)
+            if cost < 0:
+                break
+            yield self.sim.timeout(cost)
+            spent += per_record
+            if self._matches(record, constraints):
+                results.append(dict(record))
+                if limit is not None and len(results) >= limit:
+                    break
+            if spent >= budget:
+                break
+        return results
+
+    def join(self, table_a: str, table_b: str,
+             on: Callable[[Dict[str, Any], Dict[str, Any]], bool],
+             limit: Optional[int] = None, constraints_a: dict = None,
+             constraints_b: dict = None):
+        """Process generator: relational join across two tables.
+
+        The canonical use is joining ``vm_futures`` against ``images``:
+        'find a host willing to run a 256 MB VM *and* an image server
+        with a Red Hat 7.2 image'.
+        """
+        left = yield from self.query(table_a, **(constraints_a or {}))
+        right = yield from self.query(table_b, **(constraints_b or {}))
+        pairs = []
+        for a in left:
+            for b in right:
+                if on(a, b):
+                    pairs.append((a, b))
+                    if limit is not None and len(pairs) >= limit:
+                        return pairs
+        return pairs
+
+    def __repr__(self) -> str:
+        sizes = ", ".join("%s=%d" % (t, len(rs))
+                          for t, rs in self._tables.items() if rs)
+        return "<InformationService %s>" % (sizes or "empty")

@@ -1,0 +1,175 @@
+"""A grid metascheduler: prediction-driven VM placement.
+
+Section 3.2 sketches both halves of scheduling: resources advertise VM
+futures and their scheduling discipline through the information service,
+and applications "discover a collection of appropriate resources by
+posing a relational query", then use RPS forecasts to "make adaptation
+decisions".  The metascheduler closes the loop:
+
+1. query the information service for VM futures that fit the request;
+2. consult each candidate host's load sensor and predict the job's
+   running time there (:class:`~repro.prediction.predictor
+   .RunningTimePredictor`);
+3. open the session on the predicted-best host and run the job.
+
+A ``policy="random"`` mode keeps the same machinery but ignores the
+forecasts — the baseline the placement ablation compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.middleware.session import SessionConfig
+from repro.prediction.predictor import RunningTimePredictor
+from repro.prediction.sensors import HostLoadSensor
+from repro.prediction.timeseries import ArPredictor
+from repro.simulation.kernel import SimulationError
+from repro.workloads.applications import Application
+
+__all__ = ["MetaScheduler", "PlacementDecision"]
+
+
+class PlacementDecision:
+    """Why a job landed where it did."""
+
+    def __init__(self, job: str, host: str, policy: str,
+                 predictions: Dict[str, float]):
+        self.job = job
+        self.host = host
+        self.policy = policy
+        self.predictions = dict(predictions)
+        self.actual_wall: Optional[float] = None
+
+    @property
+    def predicted_wall(self) -> Optional[float]:
+        """The forecast for the chosen host (None for random policy)."""
+        return self.predictions.get(self.host)
+
+    def __repr__(self) -> str:
+        return "<PlacementDecision %s -> %s (%s)>" % (self.job, self.host,
+                                                      self.policy)
+
+
+class MetaScheduler:
+    """Places jobs onto fresh VMs using load forecasts."""
+
+    def __init__(self, grid, image: str, policy: str = "predictive",
+                 sensor_period: float = 1.0,
+                 session_overrides: Optional[dict] = None):
+        if policy not in ("predictive", "random"):
+            raise SimulationError("policy must be predictive or random")
+        self.sim = grid.sim
+        self.grid = grid
+        self.image = image
+        self.policy = policy
+        self.session_overrides = dict(session_overrides or {})
+        self.sensors: Dict[str, HostLoadSensor] = {}
+        self.decisions: List[PlacementDecision] = []
+        self._sensor_period = float(sensor_period)
+        self._rng = grid.streams.stream("metascheduler")
+        self._job_counter = 0
+        #: Intervals during which our own jobs loaded each host — their
+        #: samples are excluded from forecasts (a scheduler must not
+        #: mistake its own load for background load).
+        self._own_intervals: Dict[str, List[tuple]] = {}
+
+    # -- sensing -----------------------------------------------------------------
+
+    def watch(self, host_name: str) -> HostLoadSensor:
+        """Attach a load sensor to a compute host."""
+        if host_name in self.sensors:
+            raise SimulationError("already watching %s" % host_name)
+        machine = self.grid.machine_for(host_name)
+        sensor = HostLoadSensor(machine.cpu, period=self._sensor_period)
+        sensor.start()
+        self.sensors[host_name] = sensor
+        return sensor
+
+    def _candidates(self, memory_mb: int) -> List[str]:
+        futures = self.grid.info.select("vm_futures", count__gt=0,
+                                        max_memory_mb__ge=memory_mb)
+        hosts = [f["host"] for f in futures if f["host"] in self.sensors]
+        if not hosts:
+            raise SimulationError("no watched host can take the job")
+        return sorted(set(hosts))
+
+    # -- placement ----------------------------------------------------------------
+
+    def _background_history(self, host: str) -> List[float]:
+        """Sensor samples taken while none of our jobs ran on ``host``."""
+        monitor = self.sensors[host].monitor
+        intervals = self._own_intervals.get(host, [])
+        history = []
+        for t, value in zip(monitor.times, monitor.values):
+            if not any(start <= t <= end for start, end in intervals):
+                history.append(value)
+        return history
+
+    def _choose(self, work_seconds: float,
+                candidates: List[str]) -> (str, Dict[str, float]):
+        predictions: Dict[str, float] = {}
+        if self.policy == "random":
+            return self._rng.choice(candidates), predictions
+        predictor = RunningTimePredictor(
+            lambda: ArPredictor(order=4), cores=1,
+            sample_period=self._sensor_period)
+        for host in candidates:
+            history = self._background_history(host)
+            if len(history) < 8:
+                predictions[host] = work_seconds  # no signal yet
+            else:
+                predictions[host] = predictor.predict_running_time(
+                    work_seconds, history)
+        best = min(candidates, key=lambda h: predictions[h])
+        return best, predictions
+
+    def submit(self, app: Application, memory_mb: int = 128):
+        """Process generator: place, run and tear down one job.
+
+        Returns the :class:`PlacementDecision` with ``actual_wall``
+        filled in.
+        """
+        self._job_counter += 1
+        job_name = "%s-%d" % (app.name, self._job_counter)
+        candidates = self._candidates(memory_mb)
+        host, predictions = self._choose(app.total_user_seconds
+                                         + app.total_sys_seconds,
+                                         candidates)
+        decision = PlacementDecision(job_name, host, self.policy,
+                                     predictions)
+        self.decisions.append(decision)
+
+        config = SessionConfig(user=self.session_overrides.get(
+            "user", "scheduler"), image=self.image,
+            vm_name="js-%s" % job_name, memory_mb=memory_mb,
+            host_constraints={"host": host},
+            **{k: v for k, v in self.session_overrides.items()
+               if k != "user"})
+        session = self.grid.new_session(config)
+        own_start = self.sim.now
+        try:
+            yield from session.establish()
+            started = self.sim.now
+            result = yield from session.run_application(app,
+                                                        pname=job_name)
+            decision.actual_wall = self.sim.now - started
+            yield from session.shutdown()
+        finally:
+            self._own_intervals.setdefault(host, []).append(
+                (own_start, self.sim.now + self._sensor_period))
+        return decision
+
+    def mean_absolute_prediction_error(self) -> float:
+        """Mean |predicted - actual| / actual over predictive decisions."""
+        errors = [abs(d.predicted_wall - d.actual_wall) / d.actual_wall
+                  for d in self.decisions
+                  if d.predicted_wall is not None
+                  and d.actual_wall is not None]
+        if not errors:
+            raise SimulationError("no completed predictive decisions")
+        return sum(errors) / len(errors)
+
+    def __repr__(self) -> str:
+        return "<MetaScheduler %s jobs=%d>" % (self.policy,
+                                               len(self.decisions))

@@ -1,0 +1,395 @@
+"""The VM grid session: the six-step life cycle of Section 4 / Figure 3.
+
+1. Query the information service for a *VM future* — a physical machine
+   able to instantiate a dynamic VM meeting the user's needs.
+2. Query for an image server holding a suitable base O/S image.
+3. Establish the data session between the physical server P and the
+   image server I — explicit (GridFTP staging onto local disk) or
+   implicit (an NFS mount, optionally behind a PVFS proxy).
+4. Negotiate VM startup through GRAM (``globusrun``), from a cold
+   (pre-boot) or warm (post-boot, restored) state, and put the VM on
+   the network (DHCP from the site's pool, or an Ethernet tunnel back
+   to the user's home network).
+5. Establish the guest's own data sessions: the user's data server is
+   mounted *inside* the VM, through a PVFS proxy.
+6. Execute applications in the virtual machine.
+
+The session object records a timeline of the steps and exposes the
+running VM; shutdown, suspend and migrate close the life cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.guestos.profile import GuestOsProfile
+from repro.gridnet.tunnel import EthernetTunnel
+from repro.simulation.kernel import SimulationError
+from repro.storage.pvfs import PvfsProxy
+from repro.vmm.disk_image import DiskImage
+from repro.vmm.virtual_machine import VmConfig, VmState
+
+__all__ = ["SessionConfig", "GridSession", "StepRecord"]
+
+IMAGE_ACCESS_MODES = ("local-copy", "nfs", "pvfs")
+START_MODES = ("boot", "restore")
+NETWORKING_MODES = ("dhcp", "tunnel", "none")
+
+
+@dataclass
+class SessionConfig:
+    """What the user (or middleware acting for them) asks for."""
+
+    user: str
+    image: str
+    vm_name: Optional[str] = None
+    memory_mb: int = 128
+    disk_mode: str = "nonpersistent"
+    image_access: str = "pvfs"
+    start_mode: str = "restore"
+    networking: str = "dhcp"
+    guest_profile: GuestOsProfile = field(default_factory=GuestOsProfile)
+    proxy_cache_bytes: float = 512 * 1024 * 1024
+    mount_user_data: bool = True
+    #: Extra constraints on the VM-future query (e.g. site="uf").
+    host_constraints: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.image_access not in IMAGE_ACCESS_MODES:
+            raise SimulationError("image_access must be one of %s"
+                                  % (IMAGE_ACCESS_MODES,))
+        if self.start_mode not in START_MODES:
+            raise SimulationError("start_mode must be one of %s"
+                                  % (START_MODES,))
+        if self.networking not in NETWORKING_MODES:
+            raise SimulationError("networking must be one of %s"
+                                  % (NETWORKING_MODES,))
+        if self.disk_mode == "persistent" \
+                and self.image_access != "local-copy":
+            raise SimulationError("persistent disks require an explicit "
+                                  "local copy (image_access='local-copy')")
+
+
+class StepRecord:
+    """Timing of one life-cycle step."""
+
+    def __init__(self, index: int, title: str, started: float):
+        self.index = index
+        self.title = title
+        self.started = started
+        self.finished: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def __repr__(self) -> str:
+        return "<Step %d %s %.2fs>" % (self.index, self.title,
+                                       self.duration or -1.0)
+
+
+class GridSession:
+    """One user's VM session on the grid.
+
+    ``grid`` is any object exposing the component registry —
+    :class:`repro.core.grid.VirtualGrid` in practice:
+    ``info``, ``accounts``, ``engine``, ``network``, ``gridftp``,
+    ``vmm_for(host)``, ``gram_for(host)``, ``image_server_for(host)``,
+    ``dhcp_for(site)``, ``data_server``, ``home_gateway_of(user)``.
+    """
+
+    def __init__(self, grid, config: SessionConfig):
+        self.sim = grid.sim
+        self.grid = grid
+        self.config = config
+        self.steps: List[StepRecord] = []
+        self.vm = None
+        self.vmm = None
+        self.image_server = None
+        self.gram_job = None
+        self.lease = None
+        self.tunnel: Optional[EthernetTunnel] = None
+        self.user_data_fs = None
+        self._established = False
+
+    # -- step bookkeeping ---------------------------------------------------------
+
+    def _step(self, index: int, title: str) -> StepRecord:
+        record = StepRecord(index, title, self.sim.now)
+        self.steps.append(record)
+        return record
+
+    @property
+    def guest_os(self):
+        """The guest operating system, once the VM exists."""
+        if self.vm is None:
+            raise SimulationError("session has no VM yet")
+        return self.vm.guest_os
+
+    @property
+    def established(self) -> bool:
+        """True once all six steps completed."""
+        return self._established
+
+    # -- the six steps -----------------------------------------------------------
+
+    def establish(self):
+        """Process generator: run steps 1-5 (6 is :meth:`run_application`)."""
+        grid = self.grid
+        config = self.config
+        grid.accounts.require(config.user, "grid", "instantiate")
+
+        # Step 1: find a VM future.
+        step = self._step(1, "query VM future")
+        futures = yield from grid.info.query(
+            "vm_futures", limit=1, count__gt=0,
+            max_memory_mb__ge=config.memory_mb, **config.host_constraints)
+        if not futures:
+            raise SimulationError("no VM future satisfies the request")
+        future = futures[0]
+        host_name = future["host"]
+        self.vmm = grid.vmm_for(host_name)
+        step.finished = self.sim.now
+
+        # Step 2: find the image.
+        step = self._step(2, "query image server")
+        images = yield from grid.info.query("images", limit=1,
+                                            image=config.image)
+        if not images:
+            raise SimulationError("image %s not advertised" % config.image)
+        image_record = images[0]
+        self.image_server = grid.image_server_for(image_record["server"])
+        step.finished = self.sim.now
+
+        # Step 3: data session between P and I.
+        step = self._step(3, "image data session (%s)" % config.image_access)
+        base_image, memstate, remote_cpu = yield from self._image_session()
+        step.finished = self.sim.now
+
+        # Step 4: GRAM-dispatched VM startup + network attachment.
+        step = self._step(4, "globusrun VM startup (%s)" % config.start_mode)
+        gram = grid.gram_for(host_name)
+        vm_name = config.vm_name or "%s-%s-vm" % (config.user, config.image)
+        body = self._startup_body(vm_name, base_image, memstate, remote_cpu)
+        self.gram_job = yield from gram.submit(body, name="start-" + vm_name)
+        step.finished = self.sim.now
+
+        # Step 5: guest-side data sessions.
+        step = self._step(5, "user data session")
+        if config.mount_user_data and grid.data_server is not None:
+            self.user_data_fs = grid.data_server.mount_from(
+                self.vmm.machine.name, config.user)
+            self.guest_os.mount("/home/%s" % config.user, self.user_data_fs)
+        step.finished = self.sim.now
+
+        # Bookkeeping: the future is consumed; the VM becomes a resource.
+        grid.info.unregister("vm_futures", host=host_name)
+        future = dict(future)
+        future["count"] -= 1
+        grid.info.register("vm_futures", future)
+        grid.info.register("vms", self.vm.state_summary())
+        grid.accounts.bind_vm(config.user, self.vm.name)
+        self._established = True
+        return self
+
+    def _image_session(self):
+        """Step 3 internals: make the base image reachable from host P."""
+        grid = self.grid
+        config = self.config
+        host_machine = self.vmm.machine.name
+        image_name = config.image
+        memstate_file = self.image_server.memstate_name(image_name)
+        local = self.image_server.host.machine.name == host_machine
+
+        if config.image_access == "local-copy":
+            # Explicit transfers (GridFTP) onto the host's local disk; a
+            # same-host image server degenerates to a disk-to-disk copy.
+            host_fs = self.vmm.host.root_fs
+            server_fs = self.image_server.fs
+            server_host = self.image_server.host.machine.name
+            size = self.image_server.lookup(image_name).size_bytes
+            same_fs = local and host_fs is server_fs
+            if same_fs:
+                yield from host_fs.copy(image_name, image_name + ".private")
+            else:
+                yield from grid.gridftp.transfer(
+                    server_fs, server_host, image_name, host_fs,
+                    host_machine, dst_name=image_name + ".private")
+            base = DiskImage(host_fs, image_name + ".private", size)
+            memstate = None
+            if config.start_mode == "restore":
+                if same_fs:
+                    memstate = (host_fs, memstate_file)
+                else:
+                    yield from grid.gridftp.transfer(
+                        server_fs, server_host, memstate_file, host_fs,
+                        host_machine)
+                    memstate = (host_fs, memstate_file)
+            return base, memstate, 0.0
+
+        # Implicit, on-demand access: NFS mount, optionally proxied.
+        # The PVFS proxy is shared per (host, image server) so that the
+        # read-only master image is cached once for all sessions.
+        if config.image_access == "pvfs":
+            access_fs = grid.image_proxy_for(
+                host_machine, self.image_server.host.machine.name,
+                config.proxy_cache_bytes)
+        else:
+            access_fs = self.image_server.mount_from(host_machine)
+        base = DiskImage(access_fs, image_name,
+                         self.image_server.lookup(image_name).size_bytes)
+        memstate = None
+        if config.start_mode == "restore":
+            memstate = (access_fs, memstate_file)
+        remote_cpu = 0.0 if local \
+            else self.vmm.costs.remote_state_cpu_per_byte
+        return base, memstate, remote_cpu
+
+    def _startup_body(self, vm_name, base_image, memstate, remote_cpu):
+        """Step 4 internals: the job globusrun dispatches."""
+        grid = self.grid
+        config = self.config
+        vm_config = VmConfig(vm_name, memory_mb=config.memory_mb,
+                             guest_profile=config.guest_profile)
+        self.vm = self.vmm.create_vm(vm_config, base_image,
+                                     disk_mode=config.disk_mode,
+                                     remote_cpu_per_byte=remote_cpu,
+                                     owner=config.user)
+        duration = yield from self.vmm.power_on(
+            self.vm, mode=config.start_mode, memstate=memstate,
+            memstate_is_remote=bool(memstate) and remote_cpu > 0)
+
+        if config.networking == "dhcp":
+            dhcp = grid.dhcp_for(self.vmm.machine.site)
+            self.lease = yield from dhcp.acquire(vm_name)
+            self.vm.address = self.lease.address
+        elif config.networking == "tunnel":
+            gateway = grid.home_gateway_of(config.user)
+            self.tunnel = EthernetTunnel(self.sim, grid.network, grid.engine,
+                                         self.vmm.machine.name, gateway)
+            self.vm.address = yield from self.tunnel.establish(vm_name)
+        return duration
+
+    # -- step 6 and the rest of the life cycle --------------------------------------
+
+    def run_application(self, app, pname: Optional[str] = None):
+        """Process generator: step 6 — execute inside the VM."""
+        if not self._established:
+            raise SimulationError("session is not established")
+        step = self._step(6, "execute %s" % app.name)
+        result = yield from self.guest_os.run_application(app, pname=pname)
+        step.finished = self.sim.now
+        return result
+
+    def migrate_to(self, host_name: str):
+        """Process generator: move the running VM to another host.
+
+        Implements the Section 4 life-cycle option "the user, or a grid
+        scheduler, will have the option to ... migrate the virtual
+        machine at any time".  The destination reaches the base image
+        through its own mount of the image server; the guest's data
+        mounts travel inside the VM untouched.  Returns the downtime.
+        """
+        from repro.vmm.migration import migrate
+
+        if not self._established:
+            raise SimulationError("session is not established")
+        dest_vmm = self.grid.vmm_for(host_name)
+        mount = self.image_server.mount_from(dest_vmm.machine.name)
+        size = self.image_server.lookup(self.config.image).size_bytes
+        dest_base = DiskImage(mount, self.config.image, size)
+        step = self._step(7, "migrate to %s" % host_name)
+        downtime = yield from migrate(self.vm, dest_vmm, self.grid.stager,
+                                      dest_base, dest_base_is_remote=True)
+        self.vmm = dest_vmm
+        step.finished = self.sim.now
+        self.grid.info.unregister("vms", name=self.vm.name)
+        self.grid.info.register("vms", self.vm.state_summary())
+        return downtime
+
+    def hibernate(self):
+        """Process generator: suspend the VM to the host's disk.
+
+        Section 4: "the user, or a grid scheduler, will have the option
+        to shutdown, hibernate, restore, or migrate the virtual machine
+        at any time".  Returns the memory-state file name.
+        """
+        if self.vm is None:
+            raise SimulationError("session has no VM")
+        filename = yield from self.vmm.suspend(self.vm,
+                                               self.vmm.host.root_fs)
+        return filename
+
+    def wake(self):
+        """Process generator: resume a hibernated VM on the same host."""
+        if self.vm is None:
+            raise SimulationError("session has no VM")
+        yield from self.vmm.resume(self.vm, self.vmm.host.root_fs)
+
+    def archive_to(self, tape):
+        """Process generator: move a hibernated VM's state to tape.
+
+        "Infrequently run virtual machine images will be migrated to
+        tape."  The VM must be hibernated first; its online state files
+        (memory image and copy-on-write diff) are reclaimed.  Returns
+        the archived volume.
+        """
+        from repro.vmm.virtual_machine import VmState
+
+        if self.vm is None or self.vm.state is not VmState.SUSPENDED:
+            raise SimulationError("archive requires a hibernated VM")
+        host_fs = self.vmm.host.root_fs
+        files = [self.vm.name + ".memstate"]
+        if self.vm.vdisk.mode == "nonpersistent" \
+                and host_fs.exists(self.vm.vdisk.diff_name):
+            files.append(self.vm.vdisk.diff_name)
+        volume = yield from tape.archive(self.vm.name, host_fs, files)
+        return volume
+
+    def revive_from(self, tape):
+        """Process generator: bring an archived VM back and resume it."""
+        if self.vm is None:
+            raise SimulationError("session has no VM")
+        yield from tape.retrieve(self.vm.name, self.vmm.host.root_fs)
+        yield from self.vmm.resume(self.vm, self.vmm.host.root_fs)
+        tape.remove(self.vm.name)
+
+    def sync_user_data(self):
+        """Process generator: flush the guest's buffered user-data writes."""
+        if isinstance(self.user_data_fs, PvfsProxy):
+            flushed = yield from self.user_data_fs.sync()
+            return flushed
+        return 0
+
+    def shutdown(self):
+        """Process generator: end the life cycle and release resources."""
+        if self.vm is None:
+            raise SimulationError("session has no VM")
+        yield from self.sync_user_data()
+        if self.vm.state is VmState.RUNNING:
+            yield from self.vmm.shutdown(self.vm)
+        else:
+            self.vmm.destroy(self.vm)
+        if self.lease is not None and self.lease.active:
+            self.grid.dhcp_for(self.vmm.machine.site).release(self.lease)
+        self.grid.info.unregister("vms", name=self.vm.name)
+        self.grid.accounts.release_vm(self.config.user, self.vm.name)
+        self._established = False
+
+    def timeline(self) -> List[str]:
+        """Human-readable step timing (used by the examples)."""
+        lines = []
+        for step in self.steps:
+            duration = "%.2fs" % step.duration \
+                if step.duration is not None else "..."
+            lines.append("step %d: %-35s %s" % (step.index, step.title,
+                                                duration))
+        return lines
+
+    def __repr__(self) -> str:
+        state = self.vm.state.value if self.vm else "no-vm"
+        return "<GridSession %s/%s %s>" % (self.config.user,
+                                           self.config.image, state)

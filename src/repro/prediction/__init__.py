@@ -1,0 +1,33 @@
+"""RPS-style resource prediction (Section 3.2, application perspective).
+
+"The RPS system is designed to help this form of adaptation.  Fed by a
+streaming time-series produced by a resource sensor, it provides
+time-series and application-level performance predictions on which basis
+applications can make adaptation decisions."
+
+* :mod:`~repro.prediction.sensors` — resource sensors producing
+  streaming time series from live simulation objects;
+* :mod:`~repro.prediction.timeseries` — last-value, windowed-mean and
+  autoregressive one-step predictors with evaluation helpers;
+* :mod:`~repro.prediction.predictor` — application-level running-time
+  prediction and host selection.
+"""
+
+from repro.prediction.predictor import RunningTimePredictor
+from repro.prediction.sensors import BandwidthSensor, HostLoadSensor
+from repro.prediction.timeseries import (
+    ArPredictor,
+    LastValuePredictor,
+    WindowedMeanPredictor,
+    evaluate_predictor,
+)
+
+__all__ = [
+    "ArPredictor",
+    "BandwidthSensor",
+    "HostLoadSensor",
+    "LastValuePredictor",
+    "RunningTimePredictor",
+    "WindowedMeanPredictor",
+    "evaluate_predictor",
+]

@@ -1,0 +1,128 @@
+"""Resource sensors: streaming time series from live simulation objects.
+
+RPS "includes sensors for Unix host load, network bandwidth along flows
+in the network, ... and can be extended to include sensors that are
+appropriate for VM environments".  The host-load sensor samples a CPU's
+run-queue length on a fixed period, exactly like a 1-second load
+average; a VM-aware variant samples one task group's share instead; the
+bandwidth sensor samples spare capacity along one network path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hardware.cpu import ProcessorSharingCpu, TaskGroup
+from repro.simulation.kernel import Interrupt, Process, SimulationError
+from repro.simulation.monitor import TimeSeriesMonitor
+
+__all__ = ["HostLoadSensor", "BandwidthSensor"]
+
+
+class HostLoadSensor:
+    """Periodic sampling of a CPU's load (or one VM group's share)."""
+
+    def __init__(self, cpu: ProcessorSharingCpu, period: float = 1.0,
+                 group: Optional[TaskGroup] = None):
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.period = float(period)
+        self.group = group
+        self.series: List[float] = []
+        self.monitor = TimeSeriesMonitor("hostload-sensor")
+        self._proc: Optional[Process] = None
+
+    def _sample(self) -> float:
+        if self.group is None:
+            # Time-averaged run-queue length over the sample period — a
+            # 1-second load average, immune to aliasing against
+            # burst-structured workloads.
+            value = self.cpu.run_queue.time_average(
+                max(0.0, self.sim.now - self.period), self.sim.now)
+        else:
+            value = sum(self.cpu.current_rate(task)
+                        for task in self.cpu.active_tasks
+                        if task.group is self.group)
+        return float(value)
+
+    def start(self) -> None:
+        """Begin streaming samples every ``period`` seconds."""
+        if self._proc is not None:
+            raise SimulationError("sensor already running")
+        self._proc = self.sim.spawn(self._run(), name="hostload-sensor")
+
+    def stop(self) -> None:
+        """Stop sampling (the collected series stays available)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="sensor-stop")
+        self._proc = None
+
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.period)
+                value = self._sample()
+                self.series.append(value)
+                self.monitor.record(self.sim.now, value)
+        except Interrupt:
+            return
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __repr__(self) -> str:
+        return "<HostLoadSensor %s n=%d>" % (self.cpu.name,
+                                             len(self.series))
+
+
+class BandwidthSensor:
+    """Periodic sampling of spare bandwidth along one network path.
+
+    Feeds the same predictors as host load; an application planning a
+    bulk transfer forecasts the path's availability first.
+    """
+
+    def __init__(self, engine, src: str, dst: str, period: float = 5.0):
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        self.sim = engine.sim
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.period = float(period)
+        self.series: List[float] = []
+        self.monitor = TimeSeriesMonitor("bandwidth-sensor")
+        self._proc: Optional[Process] = None
+        # Validate the path exists up front.
+        engine.network.path_links(src, dst)
+
+    def start(self) -> None:
+        """Begin streaming samples every ``period`` seconds."""
+        if self._proc is not None:
+            raise SimulationError("sensor already running")
+        self._proc = self.sim.spawn(self._run(), name="bandwidth-sensor")
+
+    def stop(self) -> None:
+        """Stop sampling (the collected series stays available)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="sensor-stop")
+        self._proc = None
+
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.period)
+                value = self.engine.available_bandwidth(self.src, self.dst)
+                self.series.append(value)
+                self.monitor.record(self.sim.now, value)
+        except Interrupt:
+            return
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __repr__(self) -> str:
+        return "<BandwidthSensor %s->%s n=%d>" % (self.src, self.dst,
+                                                  len(self.series))

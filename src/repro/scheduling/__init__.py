@@ -1,0 +1,43 @@
+"""Resource control: scheduling VMs under resource-owner constraints.
+
+Section 3.2 (resource perspective): "Our approach to the complex and
+varying constraints of resource owners is to use a specialized language
+for specifying the constraints, and to use a toolchain for enforcing
+constraints specified in the language when scheduling virtual machines
+on the host operating system."
+
+* :mod:`~repro.scheduling.constraints` — the owner-constraint language;
+* :mod:`~repro.scheduling.compiler` — constraints -> real-time schedule
+  or proportional shares, with feasibility checking;
+* :mod:`~repro.scheduling.realtime` — periodic (slice, period) schedule
+  enforcement (the "kernel-level scheduler extensions" route);
+* :mod:`~repro.scheduling.lottery` — lottery scheduling [Waldspurger];
+* :mod:`~repro.scheduling.wfq` — weighted fair queueing [Demers et al.];
+* :mod:`~repro.scheduling.modulation` — coarse-grain SIGSTOP/SIGCONT
+  priority modulation "under the regular linux scheduler".
+"""
+
+from repro.scheduling.compiler import (
+    CompiledSchedule,
+    InfeasibleSchedule,
+    compile_constraints,
+)
+from repro.scheduling.constraints import OwnerConstraints, parse_constraints
+from repro.scheduling.interactive import InteractivePolicyDaemon
+from repro.scheduling.lottery import LotteryScheduler
+from repro.scheduling.modulation import DutyCycleModulator
+from repro.scheduling.realtime import PeriodicEnforcer
+from repro.scheduling.wfq import WfqScheduler
+
+__all__ = [
+    "CompiledSchedule",
+    "DutyCycleModulator",
+    "InfeasibleSchedule",
+    "InteractivePolicyDaemon",
+    "LotteryScheduler",
+    "OwnerConstraints",
+    "PeriodicEnforcer",
+    "WfqScheduler",
+    "compile_constraints",
+    "parse_constraints",
+]

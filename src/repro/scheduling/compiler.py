@@ -1,0 +1,88 @@
+"""Compiling owner constraints into enforceable schedules.
+
+Section 3.2: "the resource owner's constraints and the constraints of
+the virtual machines that the users require could be compiled into a
+real-time schedule, mapping each virtual machine into one or more
+periodic real-time tasks ... Another possibility is to compile into
+proportions for a proportional share scheduler."
+
+:func:`compile_constraints` takes the owner policy and the set of VM
+names and produces a :class:`CompiledSchedule` in one of two shapes:
+
+* ``periodic`` — one (slice, period) reservation per VM, feasibility
+  checked against the EDF utilization bound and the owner's cap;
+* ``proportional`` — per-VM weights plus an aggregate cap, for the
+  lottery / WFQ / PS-group enforcement mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.scheduling.constraints import OwnerConstraints
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["InfeasibleSchedule", "CompiledSchedule", "compile_constraints"]
+
+
+class InfeasibleSchedule(SimulationError):
+    """The requested reservations cannot fit under the owner's cap."""
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """The enforcement-ready form of an owner policy."""
+
+    kind: str                                     # "periodic"|"proportional"
+    #: periodic: vm -> (slice, period); proportional: vm -> weight.
+    entries: Dict[str, Tuple]
+    #: Aggregate CPU fraction granted to grid VMs.
+    utilization: float
+    #: Cap in force when the owner is at the console.
+    interactive_utilization: float
+
+    def describe(self) -> str:
+        """Short form advertised in a VM future's ``scheduling`` field."""
+        if self.kind == "periodic":
+            any_entry = next(iter(self.entries.values()))
+            return ("periodic slice=%.3fs period=%.3fs util=%.2f"
+                    % (any_entry[0], any_entry[1], self.utilization))
+        return "proportional-share util=%.2f" % self.utilization
+
+
+def compile_constraints(constraints: OwnerConstraints,
+                        vm_names: Sequence[str],
+                        cores: int = 1) -> CompiledSchedule:
+    """Compile an owner policy for a concrete set of VMs.
+
+    Raises :class:`InfeasibleSchedule` when the per-VM reservations sum
+    past the owner's cap (or past the machine itself).
+    """
+    if not vm_names:
+        raise SimulationError("no VMs to schedule")
+    if len(set(vm_names)) != len(vm_names):
+        raise SimulationError("duplicate VM names")
+    cap = constraints.cpu_cap if constraints.cpu_cap is not None else 1.0
+    budget = cap * cores
+    interactive = constraints.effective_cap(interactive=True)
+    interactive_budget = (interactive if interactive is not None
+                          else cap) * cores
+
+    if constraints.has_reservation:
+        per_vm = constraints.slice_seconds / constraints.period_seconds
+        total = per_vm * len(vm_names)
+        if total > budget + 1e-12:
+            raise InfeasibleSchedule(
+                "%d VMs at %.2f utilization each need %.2f, cap is %.2f"
+                % (len(vm_names), per_vm, total, budget))
+        entries = {name: (constraints.slice_seconds,
+                          constraints.period_seconds)
+                   for name in vm_names}
+        return CompiledSchedule("periodic", entries, total,
+                                min(total, interactive_budget))
+
+    weight = constraints.weight
+    entries = {name: (weight,) for name in vm_names}
+    return CompiledSchedule("proportional", entries, budget,
+                            interactive_budget)

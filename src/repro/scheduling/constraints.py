@@ -1,0 +1,136 @@
+"""The resource-owner constraint language.
+
+A small declarative language in which a provider states how much of
+their machine grid VMs may consume.  Example::
+
+    # Owner policy for desktop pc07
+    limit cpu 0.5
+    limit cpu 0.2 when interactive
+    reserve slice 30ms period 100ms
+    weight 2
+
+Directives:
+
+``limit cpu <fraction>``
+    Cap the aggregate CPU share of grid VMs (0 < fraction <= 1).
+``limit cpu <fraction> when interactive``
+    A tighter cap that applies while the owner is at the console —
+    the paper's desktop scenario ("limit the impact that a remote user
+    may have on resources available for a local user").
+``reserve slice <time> period <time>``
+    Ask for per-VM periodic real-time reservations; times accept the
+    suffixes ``ms`` and ``s``.
+``weight <n>``
+    Proportional-share weight of the grid VM class relative to local
+    work (default 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["OwnerConstraints", "ConstraintSyntaxError", "parse_constraints"]
+
+
+class ConstraintSyntaxError(SimulationError):
+    """The constraint text does not parse."""
+
+
+@dataclass(frozen=True)
+class OwnerConstraints:
+    """Parsed owner policy."""
+
+    cpu_cap: Optional[float] = None
+    interactive_cpu_cap: Optional[float] = None
+    slice_seconds: Optional[float] = None
+    period_seconds: Optional[float] = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        for cap in (self.cpu_cap, self.interactive_cpu_cap):
+            if cap is not None and not 0.0 < cap <= 1.0:
+                raise ConstraintSyntaxError("cpu caps must be in (0, 1]")
+        if (self.slice_seconds is None) != (self.period_seconds is None):
+            raise ConstraintSyntaxError("slice and period come together")
+        if self.slice_seconds is not None:
+            if self.slice_seconds <= 0 or self.period_seconds <= 0:
+                raise ConstraintSyntaxError("slice/period must be positive")
+            if self.slice_seconds > self.period_seconds:
+                raise ConstraintSyntaxError("slice cannot exceed period")
+        if self.weight <= 0:
+            raise ConstraintSyntaxError("weight must be positive")
+
+    @property
+    def has_reservation(self) -> bool:
+        """True when the owner asked for periodic real-time slices."""
+        return self.slice_seconds is not None
+
+    def effective_cap(self, interactive: bool) -> Optional[float]:
+        """The cap in force given console activity."""
+        if interactive and self.interactive_cpu_cap is not None:
+            return self.interactive_cpu_cap
+        return self.cpu_cap
+
+
+def _parse_time(token: str) -> float:
+    try:
+        if token.endswith("ms"):
+            return float(token[:-2]) / 1000.0
+        if token.endswith("s"):
+            return float(token[:-1])
+        return float(token)
+    except ValueError:
+        raise ConstraintSyntaxError("bad time value %r" % token)
+
+
+def parse_constraints(text: str) -> OwnerConstraints:
+    """Parse owner-policy text into :class:`OwnerConstraints`."""
+    cpu_cap = None
+    interactive_cap = None
+    slice_seconds = None
+    period_seconds = None
+    weight = 1.0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        try:
+            if head == "limit":
+                if len(tokens) < 3 or tokens[1] != "cpu":
+                    raise ConstraintSyntaxError("expected 'limit cpu <f>'")
+                value = float(tokens[2])
+                if len(tokens) == 3:
+                    cpu_cap = value
+                elif tokens[3:] == ["when", "interactive"]:
+                    interactive_cap = value
+                else:
+                    raise ConstraintSyntaxError(
+                        "trailing tokens %r" % tokens[3:])
+            elif head == "reserve":
+                if (len(tokens) != 5 or tokens[1] != "slice"
+                        or tokens[3] != "period"):
+                    raise ConstraintSyntaxError(
+                        "expected 'reserve slice <t> period <t>'")
+                slice_seconds = _parse_time(tokens[2])
+                period_seconds = _parse_time(tokens[4])
+            elif head == "weight":
+                if len(tokens) != 2:
+                    raise ConstraintSyntaxError("expected 'weight <n>'")
+                weight = float(tokens[1])
+            else:
+                raise ConstraintSyntaxError("unknown directive %r" % head)
+        except ConstraintSyntaxError as exc:
+            raise ConstraintSyntaxError("line %d: %s" % (lineno, exc))
+        except ValueError:
+            raise ConstraintSyntaxError("line %d: bad number in %r"
+                                        % (lineno, line))
+    return OwnerConstraints(cpu_cap=cpu_cap,
+                            interactive_cpu_cap=interactive_cap,
+                            slice_seconds=slice_seconds,
+                            period_seconds=period_seconds,
+                            weight=weight)

@@ -1,0 +1,94 @@
+"""Dynamic policy: tighter caps while the owner is at the console.
+
+The constraint language allows ``limit cpu 0.2 when interactive`` —
+"it allows a provider to limit the impact that a remote user may have
+on resources available for a local user (e.g. in a desktop executing
+interactive applications)" (Section 2.2).  The daemon below watches the
+host CPU for local (non-VM) activity and switches the VMs' aggregate
+cap between the normal and the interactive budget, splitting it among
+the VM groups by weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hardware.cpu import ProcessorSharingCpu, TaskGroup
+from repro.scheduling.constraints import OwnerConstraints
+from repro.simulation.kernel import Interrupt, Process, SimulationError
+from repro.simulation.monitor import TimeSeriesMonitor
+
+__all__ = ["InteractivePolicyDaemon"]
+
+
+class InteractivePolicyDaemon:
+    """Applies an owner's cap, tightened while local work is present."""
+
+    def __init__(self, cpu: ProcessorSharingCpu,
+                 groups: List[TaskGroup], constraints: OwnerConstraints,
+                 poll_interval: float = 0.5):
+        if not groups:
+            raise SimulationError("no VM groups to police")
+        if poll_interval <= 0:
+            raise SimulationError("poll interval must be positive")
+        if constraints.cpu_cap is None:
+            raise SimulationError("constraints carry no cpu cap")
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.groups = list(groups)
+        self.constraints = constraints
+        self.poll_interval = float(poll_interval)
+        self.transitions = 0
+        self.cap_in_force = TimeSeriesMonitor("policy.cap")
+        self._interactive: Optional[bool] = None
+        self._proc: Optional[Process] = None
+
+    def _local_activity(self) -> bool:
+        """Is any local (ungrouped, non-VM) task runnable on the host?"""
+        return any(task.group is None for task in self.cpu.active_tasks)
+
+    def _apply(self, interactive: bool) -> None:
+        cap = self.constraints.effective_cap(interactive)
+        total_weight = sum(group.weight for group in self.groups)
+        for group in self.groups:
+            share = cap * group.weight / total_weight
+            self.cpu.update_group(group, max_rate=share * self.cpu.speed)
+        self.cap_in_force.record(self.sim.now, cap)
+        if self._interactive is not None \
+                and interactive != self._interactive:
+            self.transitions += 1
+        self._interactive = interactive
+
+    def start(self) -> None:
+        """Begin policing (the normal cap is applied immediately)."""
+        if self._proc is not None:
+            raise SimulationError("daemon already running")
+        self._apply(self._local_activity())
+        self._proc = self.sim.spawn(self._run(), name="policy-daemon")
+
+    def stop(self) -> None:
+        """Stop policing and lift the caps."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="daemon-stop")
+        self._proc = None
+        for group in self.groups:
+            self.cpu.update_group(group, clear_max_rate=True)
+
+    def _run(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.poll_interval)
+                interactive = self._local_activity()
+                if interactive != self._interactive:
+                    self._apply(interactive)
+        except Interrupt:
+            return
+
+    @property
+    def interactive(self) -> Optional[bool]:
+        """Current console-activity verdict (None before start)."""
+        return self._interactive
+
+    def __repr__(self) -> str:
+        return "<InteractivePolicyDaemon groups=%d transitions=%d>" % (
+            len(self.groups), self.transitions)

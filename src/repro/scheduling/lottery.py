@@ -1,0 +1,102 @@
+"""Lottery scheduling of VM task groups.
+
+Waldspurger & Weihl's probabilistic proportional-share scheduler, one of
+the paper's candidate enforcement mechanisms: each VM holds tickets; at
+every quantum a lottery picks the group allowed to run.  Expected share
+converges to the ticket proportion; variance decays with the number of
+draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.hardware.cpu import ProcessorSharingCpu, TaskGroup
+from repro.simulation.kernel import Interrupt, Process, SimulationError
+
+__all__ = ["LotteryScheduler"]
+
+
+class LotteryScheduler:
+    """Quantum-by-quantum ticket lottery over VM groups."""
+
+    def __init__(self, cpu: ProcessorSharingCpu,
+                 tickets: Dict[TaskGroup, int], quantum: float = 0.1,
+                 rng: Optional[random.Random] = None):
+        if not tickets:
+            raise SimulationError("no ticket holders")
+        if any(t <= 0 for t in tickets.values()):
+            raise SimulationError("tickets must be positive")
+        if quantum <= 0:
+            raise SimulationError("quantum must be positive")
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.tickets = dict(tickets)
+        self.quantum = float(quantum)
+        self.rng = rng or random.Random(0)
+        self.wins: Dict[TaskGroup, int] = {g: 0 for g in tickets}
+        self.draws = 0
+        self._proc: Optional[Process] = None
+
+    def expected_share(self, group: TaskGroup) -> float:
+        """Ticket proportion = expected CPU share."""
+        return self.tickets[group] / sum(self.tickets.values())
+
+    def observed_share(self, group: TaskGroup) -> float:
+        """Fraction of lotteries this group has won so far."""
+        return self.wins[group] / self.draws if self.draws else 0.0
+
+    def set_tickets(self, group: TaskGroup, tickets: int) -> None:
+        """Dynamic resource-control: re-ticket a VM at run time."""
+        if tickets <= 0:
+            raise SimulationError("tickets must be positive")
+        if group not in self.tickets:
+            raise SimulationError("unknown group %s" % group.name)
+        self.tickets[group] = tickets
+
+    def _draw(self) -> TaskGroup:
+        total = sum(self.tickets.values())
+        ticket = self.rng.randrange(total)
+        cursor = 0
+        for group, count in self.tickets.items():
+            cursor += count
+            if ticket < cursor:
+                return group
+        raise AssertionError("lottery fell off the end")  # pragma: no cover
+
+    def start(self) -> None:
+        """Begin holding lotteries every quantum."""
+        if self._proc is not None:
+            raise SimulationError("lottery already running")
+        for group in self.tickets:
+            self.cpu.update_group(group, max_rate=0.0)
+        self._proc = self.sim.spawn(self._run(), name="lottery")
+
+    def stop(self) -> None:
+        """Stop and reopen every group."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="lottery-stop")
+        self._proc = None
+        for group in self.tickets:
+            self.cpu.update_group(group, clear_max_rate=True)
+
+    def _run(self):
+        winner: Optional[TaskGroup] = None
+        try:
+            while True:
+                choice = self._draw()
+                self.draws += 1
+                self.wins[choice] += 1
+                if choice is not winner:
+                    if winner is not None:
+                        self.cpu.update_group(winner, max_rate=0.0)
+                    self.cpu.update_group(choice, clear_max_rate=True)
+                    winner = choice
+                yield self.sim.timeout(self.quantum)
+        except Interrupt:
+            return
+
+    def __repr__(self) -> str:
+        return "<LotteryScheduler draws=%d groups=%d>" % (self.draws,
+                                                          len(self.tickets))

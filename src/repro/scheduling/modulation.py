@@ -1,0 +1,87 @@
+"""Coarse-grain SIGSTOP/SIGCONT priority modulation.
+
+The paper's cheapest enforcement option: "For a coarse-grain schedule,
+we could even modulate the priority of virtual machine processes under
+the regular linux scheduler, using SIGSTOP/SIGCONT signal delivery."
+
+The modulator stops and continues the VMM process on a coarse period to
+approximate a duty cycle.  Compared with the periodic real-time
+enforcer it uses second-scale periods (signals are cheap but crude), so
+the VM sees long freezes — fine for batch work, bad for interactivity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.cpu import ProcessorSharingCpu, TaskGroup
+from repro.simulation.kernel import Interrupt, Process, SimulationError
+
+__all__ = ["DutyCycleModulator"]
+
+
+class DutyCycleModulator:
+    """SIGSTOP/SIGCONT duty-cycling of one VM group."""
+
+    def __init__(self, cpu: ProcessorSharingCpu, group: TaskGroup,
+                 duty: float = 0.5, period: float = 1.0,
+                 signal_cost: float = 1e-4):
+        if not 0.0 < duty <= 1.0:
+            raise SimulationError("duty must be in (0, 1]")
+        if period <= 0:
+            raise SimulationError("period must be positive")
+        if signal_cost < 0 or signal_cost >= duty * period:
+            raise SimulationError(
+                "signal_cost must be in [0, duty*period): the run window "
+                "must outlast the signal delivery")
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.group = group
+        self.duty = float(duty)
+        self.period = float(period)
+        self.signal_cost = float(signal_cost)
+        self.signals_sent = 0
+        self._proc: Optional[Process] = None
+
+    def set_duty(self, duty: float) -> None:
+        """Dynamic resource control: adjust the duty cycle on the fly."""
+        if not 0.0 < duty <= 1.0:
+            raise SimulationError("duty must be in (0, 1]")
+        if self.signal_cost >= duty * self.period:
+            raise SimulationError("duty too small for the signal cost")
+        self.duty = float(duty)
+
+    def start(self) -> None:
+        """Begin duty-cycling."""
+        if self._proc is not None:
+            raise SimulationError("modulator already running")
+        self._proc = self.sim.spawn(self._run(),
+                                    name="sigstop-" + self.group.name)
+
+    def stop(self) -> None:
+        """Stop modulating; the VM runs unrestricted again."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="modulator-stop")
+        self._proc = None
+        self.cpu.update_group(self.group, clear_max_rate=True)
+
+    def _run(self):
+        try:
+            while True:
+                run_for = self.duty * self.period
+                # SIGCONT: the VMM process becomes runnable.
+                self.cpu.update_group(self.group, clear_max_rate=True)
+                self.signals_sent += 1
+                yield self.sim.timeout(max(run_for - self.signal_cost, 0.0))
+                if self.duty >= 1.0:
+                    continue
+                # SIGSTOP: the whole VM freezes.
+                self.cpu.update_group(self.group, max_rate=0.0)
+                self.signals_sent += 1
+                yield self.sim.timeout(self.period - run_for)
+        except Interrupt:
+            return
+
+    def __repr__(self) -> str:
+        return "<DutyCycleModulator %s duty=%.2f period=%.2fs>" % (
+            self.group.name, self.duty, self.period)

@@ -1,0 +1,95 @@
+"""Periodic real-time enforcement of compiled reservations.
+
+The "kernel-level scheduler extensions" route (Section 3.2): each VM's
+task group is opened for ``slice`` seconds out of every ``period``,
+giving it exactly ``slice/period`` of a core with bounded latency.  The
+enforcer staggers the VMs' windows across the period so their slices do
+not collide, and — like a real-time scheduler class — gives the VM
+*priority* over ordinary timesharing work while its window is open (a
+reservation is useless if best-effort load can still steal half of it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.cpu import ProcessorSharingCpu, TaskGroup
+from repro.simulation.kernel import Process, SimulationError
+
+__all__ = ["PeriodicEnforcer"]
+
+
+class PeriodicEnforcer:
+    """Toggles VM groups according to a periodic real-time schedule."""
+
+    def __init__(self, cpu: ProcessorSharingCpu,
+                 assignments: Dict[TaskGroup, Tuple[float, float]]):
+        if not assignments:
+            raise SimulationError("nothing to enforce")
+        for group, (slice_s, period_s) in assignments.items():
+            if not 0 < slice_s <= period_s:
+                raise SimulationError("bad reservation for %s" % group.name)
+        self.sim = cpu.sim
+        self.cpu = cpu
+        self.assignments = dict(assignments)
+        self._procs: List[Process] = []
+        self._running = False
+        #: Per-group count of completed periods (for tests/monitoring).
+        self.periods_served: Dict[TaskGroup, int] = {
+            group: 0 for group in assignments}
+
+    def start(self) -> None:
+        """Begin enforcement (groups are closed outside their windows)."""
+        if self._running:
+            raise SimulationError("enforcer already running")
+        self._running = True
+        offset = 0.0
+        for group, (slice_s, period_s) in self.assignments.items():
+            self.cpu.update_group(group, max_rate=0.0)
+            self._procs.append(self.sim.spawn(
+                self._drive(group, slice_s, period_s, offset),
+                name="rt-enforcer-" + group.name))
+            offset += slice_s
+
+    def stop(self) -> None:
+        """End enforcement and reopen all groups."""
+        self._running = False
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt(cause="enforcer-stop")
+        self._procs = []
+        for group in self.assignments:
+            self.cpu.update_group(group, clear_max_rate=True)
+
+    #: Weight boost granting effective real-time priority in-window.
+    PRIORITY_WEIGHT = 1000.0
+
+    def _drive(self, group: TaskGroup, slice_s: float, period_s: float,
+               offset: float):
+        from repro.simulation.kernel import Interrupt
+
+        base_weight = group.weight
+        try:
+            if offset:
+                yield self.sim.timeout(offset)
+            while self._running:
+                self.cpu.update_group(group, clear_max_rate=True,
+                                      weight=base_weight
+                                      * self.PRIORITY_WEIGHT)
+                yield self.sim.timeout(slice_s)
+                self.cpu.update_group(group, max_rate=0.0,
+                                      weight=base_weight)
+                self.periods_served[group] += 1
+                yield self.sim.timeout(period_s - slice_s)
+        except Interrupt:
+            self.cpu.update_group(group, weight=base_weight)
+            return
+
+    def expected_share(self, group: TaskGroup) -> float:
+        """The reservation's nominal CPU fraction."""
+        slice_s, period_s = self.assignments[group]
+        return slice_s / period_s
+
+    def __repr__(self) -> str:
+        return "<PeriodicEnforcer groups=%d running=%s>" % (
+            len(self.assignments), self._running)

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+Every other subsystem in :mod:`repro` — the hardware models, the virtual
+machine monitor, the storage stack, the network and the grid middleware —
+is built on top of this package.  It provides:
+
+* :class:`~repro.simulation.kernel.Simulation` — the event loop and clock;
+* :class:`~repro.simulation.kernel.Process` — generator-based coroutines;
+* :mod:`~repro.simulation.resources` — queued resources, stores, containers;
+* :mod:`~repro.simulation.randomness` — reproducible per-component RNG streams;
+* :mod:`~repro.simulation.monitor` — time-series probes and statistics.
+
+The design follows the classic process-interaction style (SimPy-like):
+model code is written as generator functions that ``yield`` events such as
+timeouts or resource requests, and the kernel resumes them when those
+events fire.
+"""
+
+from repro.simulation.kernel import (
+    Event,
+    Interrupt,
+    Process,
+    Simulation,
+    SimulationError,
+    Timeout,
+)
+from repro.simulation.monitor import StatAccumulator, TimeSeriesMonitor
+from repro.simulation.randomness import RandomStreams
+from repro.simulation.resources import Container, Resource, Store
+
+__all__ = [
+    "Container",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulation",
+    "SimulationError",
+    "StatAccumulator",
+    "Store",
+    "TimeSeriesMonitor",
+    "Timeout",
+]

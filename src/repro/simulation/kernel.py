@@ -1,0 +1,395 @@
+"""The discrete-event simulation kernel.
+
+The kernel implements a process-interaction simulation in the style of
+SimPy.  A :class:`Simulation` owns a virtual clock and a priority queue of
+scheduled events.  Model code is written as generator functions that yield
+:class:`Event` objects (most commonly :class:`Timeout`); the kernel resumes
+the generator when the yielded event fires.
+
+Only the features the rest of :mod:`repro` needs are implemented, which
+keeps the kernel small, easy to audit, and fast:
+
+* one-shot events with success/failure values,
+* timeouts,
+* processes (which are themselves events that fire on termination),
+* process interruption (used to model preemption and VM suspend),
+* ``all_of`` / ``any_of`` composite conditions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Interrupt",
+    "Simulation",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`, letting the interrupted process decide how to
+    react (e.g. a CPU model distinguishing preemption from cancellation).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Sentinel for "event has not yet fired".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Events move through three states: *pending* (created, not triggered),
+    *triggered* (scheduled to fire at the current simulation time) and
+    *processed* (callbacks have run).  An event fires exactly once, either
+    successfully with a value (:meth:`succeed`) or with an exception
+    (:meth:`fail`).
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event has not yet fired."""
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue_event(self)
+        return self
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return "<%s %s at %#x>" % (type(self).__name__, state, id(self))
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay of simulated time."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("timeout delay must be non-negative, got %r"
+                                  % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue_event(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a newly created process."""
+
+    def __init__(self, sim: "Simulation", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        sim._enqueue_event(self, priority=Simulation._PRIORITY_HIGH)
+
+
+class Process(Event):
+    """A running model coroutine.
+
+    A process wraps a generator.  Each value the generator yields must be
+    an :class:`Event`; the process sleeps until that event fires and is
+    then resumed with the event's value (or the event's exception is thrown
+    into it).  The process object is itself an event that fires when the
+    generator terminates, so processes can wait for each other.
+    """
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                "Process requires a generator, got %r" % (generator,))
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed delivers the interrupt first.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt dead process %s" % self.name)
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True  # never escalates to the kernel
+        self.sim._enqueue_event(interrupt_event,
+                                priority=Simulation._PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # Mark the failure as handled: it reached a process.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.sim._enqueue_event(self)
+                break
+            except BaseException as exc:  # model code raised
+                self._ok = False
+                self._value = exc
+                self.sim._enqueue_event(self)
+                break
+
+            if not isinstance(next_event, Event):
+                self._generator.throw(SimulationError(
+                    "process %s yielded %r, which is not an Event"
+                    % (self.name, next_event)))
+                continue
+            if next_event.sim is not self.sim:
+                self._generator.throw(SimulationError(
+                    "process %s yielded an event from another simulation"
+                    % self.name))
+                continue
+
+            self._target = next_event
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                break
+            # Event already processed: resume immediately with its value.
+            event = next_event
+
+        self.sim._active_process = None
+
+    def __repr__(self) -> str:
+        return "<Process %s %s at %#x>" % (
+            self.name, "alive" if self.is_alive else "dead", id(self))
+
+
+class Condition(Event):
+    """Composite event firing when ``count`` of its sub-events have fired.
+
+    Used through :meth:`Simulation.all_of` and :meth:`Simulation.any_of`.
+    The condition's value is a list of the values of the fired sub-events,
+    in the order the sub-events were given.
+    """
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event],
+                 count: Optional[int] = None):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes simulations")
+        self._needed = len(self._events) if count is None else count
+        self._fired = 0
+        if self._needed == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired += 1
+        if self._fired >= self._needed:
+            values = [e._value for e in self._events if e.triggered and e._ok]
+            self.succeed(values)
+
+
+class Simulation:
+    """The event loop: a virtual clock plus a priority queue of events.
+
+    Typical use::
+
+        sim = Simulation()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    _PRIORITY_URGENT = 0   # interrupts
+    _PRIORITY_HIGH = 1     # process initialization
+    _PRIORITY_NORMAL = 2   # ordinary events
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._next_id = 0
+        self._active_process: Optional[Process] = None
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a pending one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    # ``process`` is a familiar alias for SimPy users.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when every event in ``events`` has fired."""
+        return Condition(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when at least one event in ``events`` has fired."""
+        return Condition(self, events, count=1)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue_event(self, event: Event, delay: float = 0.0,
+                       priority: int = _PRIORITY_NORMAL) -> None:
+        heapq.heappush(self._queue,
+                       (self.now + delay, priority, self._next_id, event))
+        self._next_id += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("no events to step")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self.now = when
+        event._process()
+        if event._ok is False and not getattr(event, "_defused", False):
+            # An uncaught failure with no waiter: escalate to the caller of
+            # run() so that model bugs never pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event falls on it, which makes repeated bounded runs
+        composable.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                "cannot run until %r, already at %r" % (until, self.now))
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Run until ``process`` terminates and return (or raise) its value."""
+        while process.is_alive:
+            if not self._queue:
+                raise SimulationError(
+                    "deadlock: %s is waiting but no events remain" % process)
+            self.step()
+        # The caller consumes the outcome here, so the process's own
+        # termination event (possibly still queued) must not escalate.
+        process._defused = True
+        if process._ok:
+            return process._value
+        raise process._value
+
+    def __repr__(self) -> str:
+        return "<Simulation t=%.6f, %d queued>" % (self.now, len(self._queue))

@@ -1,0 +1,149 @@
+"""Measurement probes: time series and summary statistics.
+
+Two collectors are provided:
+
+* :class:`StatAccumulator` — streaming mean / variance / min / max over a
+  set of scalar samples (Welford's algorithm, numerically stable);
+* :class:`TimeSeriesMonitor` — timestamped samples with time-weighted
+  averaging, used for utilization and queue-length traces that feed the
+  RPS-style predictors in :mod:`repro.prediction`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["StatAccumulator", "TimeSeriesMonitor"]
+
+
+class StatAccumulator:
+    """Streaming summary statistics over scalar samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot, convenient for table printing."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        return ("<StatAccumulator %s n=%d mean=%.4g std=%.4g>"
+                % (self.name, self.count, self.mean, self.stdev))
+
+
+class TimeSeriesMonitor:
+    """Timestamped scalar samples with time-weighted aggregation.
+
+    Samples represent the value of a quantity *from* the sample time until
+    the next sample (a right-continuous step function), which is the
+    natural shape for utilizations, levels and queue lengths.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last_value(self) -> Optional[float]:
+        """Most recent sample value, or None when empty."""
+        return self.values[-1] if self.values else None
+
+    def value_at(self, time: float) -> Optional[float]:
+        """The step-function value at ``time`` (None before first sample)."""
+        if not self.times or time < self.times[0]:
+            return None
+        # Binary search for rightmost sample with times[i] <= time.
+        lo, hi = 0, len(self.times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.times[mid] <= time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.values[lo - 1]
+
+    def time_average(self, start: Optional[float] = None,
+                     end: Optional[float] = None) -> float:
+        """Time-weighted mean of the step function over [start, end]."""
+        if len(self.times) == 0:
+            return 0.0
+        if start is None:
+            start = self.times[0]
+        if end is None:
+            end = self.times[-1]
+        if end <= start:
+            return self.value_at(start) or 0.0
+        total = 0.0
+        for i, t in enumerate(self.times):
+            seg_start = max(t, start)
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total += self.values[i] * (seg_end - seg_start)
+        return total / (end - start)
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """The (time, value) samples falling inside [start, end]."""
+        return [(t, v) for t, v in zip(self.times, self.values)
+                if start <= t <= end]
+
+    def __repr__(self) -> str:
+        return "<TimeSeriesMonitor %s n=%d>" % (self.name, len(self.times))

@@ -1,0 +1,34 @@
+"""Storage substrate: local file systems, NFS, and grid virtual file systems.
+
+The stack mirrors Figure 2 of the paper:
+
+* :class:`~repro.storage.localfs.LocalFileSystem` — "DiskFS", a file
+  system on a machine's disk with an LRU buffer cache;
+* :class:`~repro.storage.nfs.NfsServer` / :class:`~repro.storage.nfs.NfsClient`
+  — block RPC over the simulated network, including loopback mounts;
+* :class:`~repro.storage.pvfs.PvfsProxy` — the PUNCH virtual file system
+  proxy: an NFS call-forwarding proxy with a client-side disk cache,
+  prefetching and write buffering;
+* :class:`~repro.storage.transfer.FileStager` — GridFTP/GASS-style
+  explicit whole-file staging, the baseline that on-demand access beats.
+"""
+
+from repro.storage.base import FileNotFound, FileSystem, StorageError
+from repro.storage.cache import BlockCache
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.nfs import NfsClient, NfsMount, NfsServer
+from repro.storage.pvfs import PvfsProxy
+from repro.storage.transfer import FileStager
+
+__all__ = [
+    "BlockCache",
+    "FileNotFound",
+    "FileStager",
+    "FileSystem",
+    "LocalFileSystem",
+    "NfsClient",
+    "NfsMount",
+    "NfsServer",
+    "PvfsProxy",
+    "StorageError",
+]

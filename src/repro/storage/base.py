@@ -1,0 +1,87 @@
+"""The file-system interface shared by every storage service.
+
+Only metadata and timing are simulated — files are (name, size) pairs and
+reads/writes move simulated time and bytes, not contents.  All data-path
+operations are process generators (``yield from fs.read(...)``) so that
+they can consume disk, network and CPU resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.simulation.kernel import SimulationError
+
+__all__ = ["StorageError", "FileNotFound", "FileSystem", "block_span"]
+
+
+class StorageError(SimulationError):
+    """Base class for storage failures."""
+
+
+class FileNotFound(StorageError):
+    """The named file does not exist in this file system."""
+
+
+def block_span(offset: int, nbytes: int, block_size: int) -> List[int]:
+    """Indices of the blocks covering ``[offset, offset + nbytes)``."""
+    if offset < 0 or nbytes < 0:
+        raise StorageError("offset and size must be non-negative")
+    if nbytes == 0:
+        return []
+    first = offset // block_size
+    last = (offset + nbytes - 1) // block_size
+    return list(range(first, last + 1))
+
+
+class FileSystem:
+    """Abstract file-system interface.
+
+    Concrete implementations: :class:`~repro.storage.localfs.LocalFileSystem`,
+    :class:`~repro.storage.nfs.NfsMount` and
+    :class:`~repro.storage.pvfs.PvfsProxy`.
+    """
+
+    block_size: int = 65536
+
+    def exists(self, name: str) -> bool:
+        """True when ``name`` is present."""
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Size of ``name`` in bytes."""
+        raise NotImplementedError
+
+    def listdir(self) -> List[str]:
+        """All file names."""
+        raise NotImplementedError
+
+    def create(self, name: str, size: int = 0) -> None:
+        """Create (or replace) a file of the given size, instantly.
+
+        Metadata-only: allocating space costs nothing; writing data does.
+        """
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove a file."""
+        raise NotImplementedError
+
+    def read(self, name: str, offset: int, nbytes: int,
+             sequential: bool = True):
+        """Process generator: read a byte range."""
+        raise NotImplementedError
+
+    def write(self, name: str, offset: int, nbytes: int,
+              sequential: bool = True):
+        """Process generator: write a byte range (extends the file)."""
+        raise NotImplementedError
+
+    def read_file(self, name: str):
+        """Process generator: read a whole file sequentially."""
+        yield from self.read(name, 0, self.size(name), sequential=True)
+
+    def _require(self, files: Dict[str, int], name: str) -> int:
+        if name not in files:
+            raise FileNotFound("%s: no such file" % name)
+        return files[name]

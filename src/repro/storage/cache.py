@@ -1,0 +1,98 @@
+"""An LRU block cache.
+
+Used in three places, mirroring Figure 2 of the paper: as the kernel
+buffer cache of a host file system, as the client-side file buffer of an
+NFS mount, and as the proxy-controlled disk cache of a PVFS proxy (the
+"second-level cache to the kernel's file buffers").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.storage.base import StorageError
+
+__all__ = ["BlockCache"]
+
+
+class BlockCache:
+    """LRU cache of (file, block-index) keys.
+
+    ``capacity_bytes`` and ``block_size`` define the block slot count; a
+    capacity of zero disables caching (every lookup misses).
+    """
+
+    def __init__(self, capacity_bytes: float, block_size: int = 65536,
+                 name: str = "cache"):
+        if capacity_bytes < 0 or block_size <= 0:
+            raise StorageError("invalid cache parameters")
+        self.name = name
+        self.block_size = int(block_size)
+        self.capacity_blocks = int(capacity_bytes // block_size)
+        self._blocks: "OrderedDict[Tuple[Hashable, int], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size_blocks(self) -> int:
+        """Blocks currently cached."""
+        return len(self._blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently cached."""
+        return len(self._blocks) * self.block_size
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit (0.0 when no lookups yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, file_id: Hashable, block: int) -> bool:
+        """Check residency; updates recency and hit/miss counters."""
+        key = (file_id, block)
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, file_id: Hashable, block: int) -> bool:
+        """Residency check without touching recency or counters."""
+        return (file_id, block) in self._blocks
+
+    def insert(self, file_id: Hashable, block: int,
+               dirty: bool = False) -> Optional[Tuple[Hashable, int]]:
+        """Add a block, evicting the LRU block if full.
+
+        Returns the evicted key, if any (callers modelling write-back can
+        charge a flush for dirty evictions).
+        """
+        if self.capacity_blocks == 0:
+            return None
+        key = (file_id, block)
+        evicted = None
+        if key not in self._blocks and len(self._blocks) >= self.capacity_blocks:
+            evicted, _dirty = self._blocks.popitem(last=False)
+        self._blocks[key] = dirty
+        self._blocks.move_to_end(key)
+        return evicted
+
+    def invalidate_file(self, file_id: Hashable) -> int:
+        """Drop every block of one file; returns the count dropped."""
+        doomed = [key for key in self._blocks if key[0] == file_id]
+        for key in doomed:
+            del self._blocks[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counters are preserved)."""
+        self._blocks.clear()
+
+    def __repr__(self) -> str:
+        return "<BlockCache %s %d/%d blocks hit=%.2f>" % (
+            self.name, len(self._blocks), self.capacity_blocks,
+            self.hit_ratio)

@@ -1,0 +1,40 @@
+"""The classic virtual machine monitor.
+
+This package implements the paper's central object: a "classic" VM in
+the sense of Section 2.1 — a same-ISA, whole-OS virtual machine whose
+user-level code runs natively and whose privileged operations are
+trapped and emulated, with all state representable as host files.
+
+* :mod:`~repro.vmm.costs` — the trap-and-emulate cost model;
+* :mod:`~repro.vmm.disk_image` — persistent and non-persistent
+  (copy-on-write diff) virtual disks over any backing file system;
+* :mod:`~repro.vmm.virtual_machine` — the VM: lifecycle state machine,
+  guest OS, and the machine interface that charges virtualization taxes;
+* :mod:`~repro.vmm.monitor` — the per-host VMM that creates, starts,
+  suspends, restores and destroys VMs;
+* :mod:`~repro.vmm.migration` — suspend/transfer/resume migration of a
+  running VM between hosts.
+"""
+
+from repro.vmm.costs import VmmCosts
+from repro.vmm.disk_image import DiskImage, VirtualDisk
+from repro.vmm.migration import migrate
+from repro.vmm.monitor import VirtualMachineMonitor
+from repro.vmm.virtual_machine import (
+    VirtualMachine,
+    VmConfig,
+    VmCrashed,
+    VmState,
+)
+
+__all__ = [
+    "DiskImage",
+    "VirtualDisk",
+    "VirtualMachine",
+    "VirtualMachineMonitor",
+    "VmConfig",
+    "VmCrashed",
+    "VmState",
+    "VmmCosts",
+    "migrate",
+]

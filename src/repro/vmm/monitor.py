@@ -1,0 +1,173 @@
+"""The per-host virtual machine monitor.
+
+One :class:`VirtualMachineMonitor` runs on each physical host.  It
+creates VMs over disk images, powers them on from a cold (pre-boot) or
+warm (post-boot, restored) state, suspends them to memory-state files,
+and tears them down.  These are exactly the primitives Table 2 times
+through ``globusrun``: VM-reboot versus VM-restore over the different
+state-access configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.guestos.interface import PhysicalHost
+from repro.hardware.cpu import CpuTask
+from repro.simulation.kernel import SimulationError
+from repro.storage.base import FileSystem
+from repro.vmm.costs import VmmCosts
+from repro.vmm.disk_image import DiskImage, VirtualDisk
+from repro.vmm.virtual_machine import VirtualMachine, VmConfig, VmState
+
+__all__ = ["VirtualMachineMonitor"]
+
+
+class VirtualMachineMonitor:
+    """Creates and drives classic VMs on one physical host."""
+
+    def __init__(self, host: PhysicalHost, costs: Optional[VmmCosts] = None,
+                 name: str = ""):
+        self.sim = host.sim
+        self.host = host
+        self.machine = host.machine
+        self.costs = costs or VmmCosts()
+        self.name = name or ("vmm@" + host.name)
+        self.vms: List[VirtualMachine] = []
+
+    # -- creation ----------------------------------------------------------------
+
+    def create_vm(self, config: VmConfig, base_image: DiskImage,
+                  disk_mode: str = "nonpersistent",
+                  remote_cpu_per_byte: float = 0.0,
+                  rng: Optional[random.Random] = None,
+                  owner: str = "nobody") -> VirtualMachine:
+        """Define a VM over a base image (no cost; nothing runs yet).
+
+        ``remote_cpu_per_byte`` should be set (typically to
+        ``costs.remote_state_cpu_per_byte``) when ``base_image`` is
+        accessed through NFS or a PVFS proxy rather than local disk.
+        """
+        if any(vm.name == config.name for vm in self.vms):
+            raise SimulationError("VM %s already exists on %s"
+                                  % (config.name, self.name))
+        # Admission control: guest memory is not overcommitted (the
+        # "negotiation" of the paper's step 4 — a host only accepts VMs
+        # it can actually back).  A quarter of RAM is reserved for the
+        # host OS and the VMM processes themselves.
+        budget = self.machine.memory_mb * 3 // 4
+        resident = sum(vm.config.memory_mb for vm in self.vms)
+        if resident + config.memory_mb > budget:
+            raise SimulationError(
+                "%s cannot admit %s: %d+%d MB exceeds the %d MB guest "
+                "budget" % (self.name, config.name, resident,
+                            config.memory_mb, budget))
+        vdisk = VirtualDisk(self.sim, config.name, base_image,
+                            mode=disk_mode, diff_fs=self.host.root_fs,
+                            rng=rng or random.Random(0),
+                            remote_cpu_per_byte=remote_cpu_per_byte)
+        vm = VirtualMachine(self, config, vdisk,
+                            rng=rng or random.Random(0), owner=owner)
+        self.vms.append(vm)
+        return vm
+
+    def lookup(self, name: str) -> VirtualMachine:
+        """Find a VM by name."""
+        for vm in self.vms:
+            if vm.name == name:
+                return vm
+        raise SimulationError("no VM named %s on %s" % (name, self.name))
+
+    # -- power management -----------------------------------------------------------
+
+    def _vmm_process_start(self, vm: VirtualMachine):
+        """VMM exec + guest memory allocate/zero (host CPU work)."""
+        yield self.sim.timeout(self.costs.start_seconds)
+        work = vm.config.memory_mb * self.costs.memory_init_per_mb
+        if work > 0:
+            task = CpuTask("vmm-init@" + vm.name, work=work)
+            yield self.machine.cpu.submit(task)
+
+    def power_on(self, vm: VirtualMachine, mode: str = "boot",
+                 memstate: Optional[Tuple[FileSystem, str]] = None,
+                 memstate_is_remote: bool = False):
+        """Process generator: start a VM cold (boot) or warm (restore).
+
+        ``mode="boot"`` boots the guest OS from its virtual disk;
+        ``mode="restore"`` reads the memory-state file named by
+        ``memstate`` and resumes the post-boot image.
+        """
+        if vm.state not in (VmState.DEFINED, VmState.SUSPENDED):
+            raise SimulationError("%s cannot power on from %s"
+                                  % (vm.name, vm.state.value))
+        if mode not in ("boot", "restore"):
+            raise SimulationError("unknown power-on mode %r" % mode)
+        start = self.sim.now
+        vm._set_state(VmState.STARTING)
+        yield from self._vmm_process_start(vm)
+        if mode == "boot":
+            yield from vm.guest_os.boot()
+        else:
+            if memstate is None:
+                raise SimulationError("restore needs a memstate file")
+            fs, name = memstate
+            yield from fs.read(name, 0, vm.config.memory_bytes,
+                               sequential=True)
+            if memstate_is_remote:
+                vm.charge_sys(vm.config.memory_bytes
+                              * self.costs.remote_state_cpu_per_byte)
+            yield from vm.guest_os.resume()
+        vm._set_state(VmState.RUNNING)
+        return self.sim.now - start
+
+    def suspend(self, vm: VirtualMachine, dest_fs: FileSystem,
+                filename: Optional[str] = None):
+        """Process generator: freeze the guest and write its memory state."""
+        if vm.state is not VmState.RUNNING:
+            raise SimulationError("%s is not running" % vm.name)
+        filename = filename or vm.name + ".memstate"
+        vm.freeze()
+        yield from dest_fs.write(filename, 0, vm.config.memory_bytes,
+                                 sequential=True)
+        vm._set_state(VmState.SUSPENDED)
+        return filename
+
+    def resume(self, vm: VirtualMachine, src_fs: FileSystem,
+               filename: Optional[str] = None):
+        """Process generator: read the memory state back and continue."""
+        if vm.state is not VmState.SUSPENDED:
+            raise SimulationError("%s is not suspended" % vm.name)
+        filename = filename or vm.name + ".memstate"
+        yield from src_fs.read(filename, 0, vm.config.memory_bytes,
+                               sequential=True)
+        vm.unfreeze()
+        vm._set_state(VmState.RUNNING)
+
+    def shutdown(self, vm: VirtualMachine):
+        """Process generator: orderly guest shutdown, then terminate."""
+        if vm.state is not VmState.RUNNING:
+            raise SimulationError("%s is not running" % vm.name)
+        yield from vm.guest_os.shutdown()
+        self.destroy(vm)
+
+    def host_failure(self) -> List[VirtualMachine]:
+        """The physical host dies: every resident VM crashes at once.
+
+        Returns the casualties; their state files survive on whatever
+        storage they lived on, so sessions can re-instantiate elsewhere.
+        """
+        casualties = list(self.vms)
+        for vm in casualties:
+            vm.crash()
+        return casualties
+
+    def destroy(self, vm: VirtualMachine) -> None:
+        """Remove a VM from this host (its image files remain)."""
+        vm._set_state(VmState.TERMINATED)
+        if vm in self.vms:
+            self.vms.remove(vm)
+
+    def __repr__(self) -> str:
+        return "<VirtualMachineMonitor %s vms=%d>" % (self.name,
+                                                      len(self.vms))

@@ -1,0 +1,39 @@
+"""Workload generation: applications, background host load, microbenchmarks.
+
+* :mod:`~repro.workloads.applications` — the application model (compute
+  and I/O phases with kernel-event rates) plus SPEChpc-like synthetic
+  applications matching the paper's Table 1 profiles;
+* :mod:`~repro.workloads.hostload` — synthetic host-load traces and the
+  Dinda-style trace-playback engine used for Figure 1's background load;
+* :mod:`~repro.workloads.microbench` — the compute-bound test task whose
+  slowdown Figure 1 measures.
+"""
+
+from repro.workloads.applications import (
+    Application,
+    ComputePhase,
+    IoPhase,
+    KernelEventRates,
+    architecture_simulation,
+    device_simulation,
+    spec_climate,
+    spec_seis,
+    synthetic_compute,
+)
+from repro.workloads.hostload import HostLoadTrace, LoadPlayback
+from repro.workloads.microbench import micro_test_task
+
+__all__ = [
+    "Application",
+    "ComputePhase",
+    "HostLoadTrace",
+    "architecture_simulation",
+    "device_simulation",
+    "IoPhase",
+    "KernelEventRates",
+    "LoadPlayback",
+    "micro_test_task",
+    "spec_climate",
+    "spec_seis",
+    "synthetic_compute",
+]

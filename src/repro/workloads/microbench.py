@@ -1,0 +1,28 @@
+"""The Figure 1 microbenchmark: a short compute-bound test task.
+
+The paper measures "the degree to which a VMware-based VM monitor slows
+down a compute-intensive task in the presence of background load", over
+1000 samples per scenario.  The test task is pure user-mode computation
+with the light kernel-event footprint of a real benchmark loop (timer
+reads, occasional page faults while touching its working set).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.kernel import SimulationError
+from repro.workloads.applications import (
+    Application,
+    ComputePhase,
+    KernelEventRates,
+)
+
+__all__ = ["micro_test_task"]
+
+
+def micro_test_task(seconds: float = 3.0) -> Application:
+    """The synthetic test task whose slowdown Figure 1 reports."""
+    if seconds <= 0:
+        raise SimulationError("test task length must be positive")
+    rates = KernelEventRates(syscalls_per_sec=200.0,
+                             pagefaults_per_sec=120.0)
+    return Application("micro-test", [ComputePhase(seconds, 0.0, rates)])

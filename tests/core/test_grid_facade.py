@@ -1,0 +1,137 @@
+"""Unit tests for the VirtualGrid facade and reporting helpers."""
+
+import pytest
+
+from repro.core import VirtualGrid, format_table
+from repro.simulation import SimulationError
+from tests.support import GB, demo_grid
+
+
+# ---------------------------------------------------------------------------
+# Construction and registry
+# ---------------------------------------------------------------------------
+
+def test_duplicate_site_rejected():
+    grid = VirtualGrid()
+    grid.add_site("uf")
+    with pytest.raises(SimulationError):
+        grid.add_site("uf")
+
+
+def test_host_requires_existing_site():
+    grid = VirtualGrid()
+    with pytest.raises(SimulationError):
+        grid.add_compute_host("c1", site="nowhere")
+
+
+def test_duplicate_host_rejected():
+    grid = VirtualGrid()
+    grid.add_site("uf")
+    grid.add_compute_host("c1", site="uf")
+    with pytest.raises(SimulationError):
+        grid.add_image_server("c1", site="uf")
+
+
+def test_compute_host_registers_machine_and_future():
+    grid = VirtualGrid()
+    grid.add_site("uf")
+    machine = grid.add_compute_host("c1", site="uf", vm_futures=3,
+                                    max_memory_mb=256)
+    assert machine.name == "c1"
+    assert grid.info.select("machines", name="c1")
+    futures = grid.info.select("vm_futures", host="c1")
+    assert futures[0]["count"] == 3
+    assert futures[0]["max_memory_mb"] == 256
+    assert grid.vmm_for("c1") is not None
+    assert grid.gram_for("c1") is not None
+
+
+def test_publish_image_advertises():
+    grid = VirtualGrid()
+    grid.add_site("nw")
+    grid.add_image_server("i1", site="nw")
+    image = grid.publish_image("i1", "rh72", 1 * GB, warm_state_mb=64,
+                               os_name="redhat-7.2")
+    assert image.size_bytes == 1 * GB
+    records = grid.info.select("images", image="rh72")
+    assert records[0]["has_warm_state"] is True
+    assert records[0]["os"] == "redhat-7.2"
+    # The warm memory state exists on the server.
+    server = grid.image_server_for("i1")
+    assert server.fs.exists("rh72.memstate")
+
+
+def test_registry_lookup_errors():
+    grid = VirtualGrid()
+    grid.add_site("uf")
+    grid.add_compute_host("c1", site="uf")
+    with pytest.raises(SimulationError):
+        grid.vmm_for("ghost")
+    with pytest.raises(SimulationError):
+        grid.gram_for("ghost")
+    with pytest.raises(SimulationError):
+        grid.image_server_for("c1")       # wrong role
+    with pytest.raises(SimulationError):
+        grid.dhcp_for("nowhere")
+    with pytest.raises(SimulationError):
+        grid.data_server_for("c1")
+    with pytest.raises(SimulationError):
+        grid.machine_for("ghost")
+    with pytest.raises(SimulationError):
+        grid.host_for("ghost")
+    with pytest.raises(SimulationError):
+        grid.home_gateway_of("nobody")
+
+
+def test_add_user_creates_home_site_and_gateway():
+    grid = VirtualGrid()
+    user = grid.add_user("ana")
+    assert user.name == "ana"
+    gateway = grid.home_gateway_of("ana")
+    assert grid.network.has_host(gateway)
+    assert grid.accounts.authorized("ana", "grid", "instantiate")
+
+
+def test_data_server_property():
+    grid = VirtualGrid()
+    assert grid.data_server is None
+    grid.add_site("nw")
+    first = grid.add_data_server("d1", site="nw")
+    grid.add_data_server("d2", site="nw")
+    assert grid.data_server is first
+    assert grid.data_server_for("d2") is not first
+
+
+def test_image_proxy_shared_per_host_server_pair():
+    grid = demo_grid()
+    proxy_a = grid.image_proxy_for("compute1", "images1", 128 * 1024 * 1024)
+    proxy_b = grid.image_proxy_for("compute1", "images1", 999)
+    assert proxy_a is proxy_b  # cached; cache size from first call
+
+
+def test_grid_repr():
+    grid = demo_grid()
+    text = repr(grid)
+    assert "sites=" in text and "hosts=" in text
+
+
+# ---------------------------------------------------------------------------
+# format_table
+# ---------------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["Name", "Value"],
+                        [["alpha", 1.5], ["b", 22]],
+                        title="Demo")
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1].startswith("Name")
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "1.50" in lines[3]   # floats formatted to 2 places
+    assert "22" in lines[4]
+
+
+def test_format_table_empty_rows():
+    text = format_table(["A"], [])
+    assert "A" in text

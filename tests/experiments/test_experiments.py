@@ -1,0 +1,133 @@
+"""Fast-scale sanity tests of the experiment harnesses.
+
+The full paper-shaped runs live in ``benchmarks/``; these tests exercise
+the same code paths at reduced scale so the experiment plumbing is
+covered by the ordinary test suite.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_proxy_cache_ablation,
+    run_scheduler_ablation,
+    run_staging_ablation,
+)
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.migration_experiment import run_migration_experiment
+from repro.experiments.overlay_experiment import run_overlay_experiment
+from repro.experiments.table1 import macro_run, run_table1
+from repro.experiments.table2 import run_table2, startup_sample
+from repro.simulation import SimulationError
+from repro.workloads import spec_seis
+
+
+def test_table1_small_scale_preserves_shape():
+    rows = run_table1(scale=0.02)
+    indexed = {(r.application, r.resource): r for r in rows}
+    assert len(rows) == 6
+    for app in ("SPECseis", "SPECclimate"):
+        assert indexed[(app, "physical")].overhead is None
+        assert indexed[(app, "vm-localdisk")].overhead > 0
+        assert indexed[(app, "vm-pvfs")].overhead \
+            > indexed[(app, "vm-localdisk")].overhead
+
+
+def test_macro_run_unknown_resource():
+    with pytest.raises(SimulationError):
+        macro_run(lambda: spec_seis(0.01), "abacus")
+
+
+def test_table2_single_samples():
+    rows = run_table2(samples=2)
+    assert len(rows) == 6
+    indexed = {(r.start_mode, r.storage_mode): r for r in rows}
+    assert indexed[("restore", "nonpersistent-diskfs")].mean \
+        < indexed[("reboot", "nonpersistent-diskfs")].mean
+    assert indexed[("restore", "persistent")].mean > 200.0
+    for row in rows:
+        assert row.minimum <= row.mean <= row.maximum
+        assert row.samples == 2
+
+
+def test_startup_sample_validates_modes():
+    with pytest.raises(SimulationError):
+        startup_sample("hibernate", "persistent", seed=0)
+    with pytest.raises(SimulationError):
+        startup_sample("reboot", "floppy", seed=0)
+
+
+def test_figure1_small_sample_run():
+    results = run_figure1(samples=5, test_seconds=1.0)
+    assert len(results) == 12
+    for result in results:
+        assert result.mean_slowdown >= 1.0 - 1e-9
+        assert result.samples == 5
+    # The unloaded physical case is the 1.0 baseline.
+    base = next(r for r in results
+                if (r.load_level, r.test_on, r.load_on)
+                == ("none", "physical", "physical"))
+    assert base.mean_slowdown == pytest.approx(1.0)
+
+
+def test_proxy_cache_ablation_shape():
+    results = run_proxy_cache_ablation(instantiations=2)
+    cached = next(r for r in results if r.proxy_cache)
+    uncached = next(r for r in results if not r.proxy_cache)
+    assert cached.warm_mean < uncached.warm_mean
+
+
+def test_scheduler_ablation_quick():
+    rows = run_scheduler_ablation(duration=50.0)
+    assert len(rows) == 10  # 5 mechanisms x 2 VMs
+    wfq = [r for r in rows if r.mechanism == "wfq"]
+    assert all(r.error < 0.05 for r in wfq)
+
+
+def test_staging_ablation_extremes():
+    points = run_staging_ablation(fractions=(0.02, 1.0),
+                                  image_bytes=64 * 1024 * 1024)
+    assert points[0].on_demand_wins
+    assert points[0].staged_time == pytest.approx(points[1].staged_time,
+                                                  rel=0.2)
+    with pytest.raises(SimulationError):
+        run_staging_ablation(fractions=(0.0,))
+
+
+def test_overlay_experiment_quick():
+    trials = run_overlay_experiment(members=4, trials=2)
+    for trial in trials:
+        assert trial.pairs == 6
+        assert trial.mean_overlay_latency \
+            <= trial.mean_direct_latency + 1e-12
+    with pytest.raises(SimulationError):
+        run_overlay_experiment(members=2)
+
+
+def test_migration_experiment_quick():
+    result = run_migration_experiment(app_seconds=30.0, migrate_after=10.0)
+    assert result.final_host == "compute2"
+    assert result.mounts_preserved
+    assert result.migration_penalty == pytest.approx(result.downtime,
+                                                     abs=2.0)
+
+
+def test_vmm_cost_sensitivity_quick():
+    from repro.experiments.ablations import run_vmm_cost_sensitivity
+
+    points = run_vmm_cost_sensitivity(multipliers=(0.5, 2.0), scale=0.05)
+    assert points[0].overhead < points[1].overhead
+    with pytest.raises(SimulationError):
+        run_vmm_cost_sensitivity(multipliers=(0.0,), scale=0.05)
+
+
+def test_placement_experiment_quick():
+    from repro.experiments.placement_experiment import (
+        run_placement_ablation,
+    )
+
+    results = run_placement_ablation(jobs=2, job_seconds=10.0,
+                                     busy_load=3.0)
+    predictive = next(r for r in results if r.policy == "predictive")
+    random_policy = next(r for r in results if r.policy == "random")
+    assert predictive.jobs == random_policy.jobs == 2
+    assert predictive.mean_wall <= random_policy.mean_wall + 1e-6

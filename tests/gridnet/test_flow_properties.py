@@ -1,0 +1,91 @@
+"""Property-based tests of max-min fairness in the flow engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gridnet import FlowEngine, Network
+from repro.simulation import Simulation
+
+
+def star_network(sim, n_hosts, access_bws):
+    """Hosts around one hub; host i's access link has bandwidth bws[i]."""
+    net = Network(sim)
+    net.add_router("hub")
+    for i, bw in enumerate(access_bws):
+        net.add_host("h%d" % i)
+        net.add_link("h%d" % i, "hub", latency=0.0, bandwidth=bw)
+    return net
+
+
+@settings(max_examples=40, deadline=None)
+@given(bws=st.lists(st.floats(min_value=1e5, max_value=1e7),
+                    min_size=2, max_size=6))
+def test_allocation_never_exceeds_any_link(bws):
+    """Sum of rates through each link stays within its capacity."""
+    sim = Simulation()
+    net = star_network(sim, len(bws), bws)
+    engine = FlowEngine(sim, net)
+    # All hosts send to host 0 concurrently.
+    flows = [engine.start_flow("h%d" % i, "h0", 1e9)
+             for i in range(1, len(bws))]
+    rates = {flow: engine.current_rate(flow) for flow in flows}
+    # Host 0's access link carries every flow.
+    assert sum(rates.values()) <= bws[0] * (1 + 1e-9)
+    # Each sender is limited by its own access link.
+    for i, flow in enumerate(flows, start=1):
+        assert rates[flow] <= bws[i] * (1 + 1e-9)
+    # Cancel cleanly (avoid running the gigantic transfers out).
+    for flow in flows:
+        flow.remaining = 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6))
+def test_equal_flows_get_equal_rates(n):
+    sim = Simulation()
+    net = star_network(sim, n + 1, [1e6] * (n + 1))
+    engine = FlowEngine(sim, net)
+    flows = [engine.start_flow("h%d" % i, "h0", 1e8)
+             for i in range(1, n + 1)]
+    rates = [engine.current_rate(flow) for flow in flows]
+    assert max(rates) - min(rates) < 1e-6
+    assert sum(rates) == pytest.approx(1e6, rel=1e-9)
+    for flow in flows:
+        flow.remaining = 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(fast_bw=st.floats(min_value=2e6, max_value=1e7))
+def test_max_min_property_bottlenecked_flow_cannot_gain(fast_bw):
+    """The flow pinned by its own slow access link does not reduce what
+    faster flows get — the defining max-min property."""
+    sim = Simulation()
+    net = star_network(sim, 3, [fast_bw + 1e6, 1e6, fast_bw])
+    engine = FlowEngine(sim, net)
+    slow = engine.start_flow("h1", "h0", 1e9)     # 1 MB/s access
+    fast = engine.start_flow("h2", "h0", 1e9)
+    slow_rate = engine.current_rate(slow)
+    fast_rate = engine.current_rate(fast)
+    assert slow_rate == pytest.approx(1e6, rel=1e-6)
+    # Fast flow receives everything the shared link has left.
+    assert fast_rate == pytest.approx(min(fast_bw, fast_bw + 1e6 - 1e6),
+                                      rel=1e-6)
+    slow.remaining = 0.0
+    fast.remaining = 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=st.lists(st.floats(min_value=1e5, max_value=2e6),
+                      min_size=1, max_size=5))
+def test_all_bytes_always_delivered(sizes):
+    sim = Simulation()
+    net = star_network(sim, len(sizes) + 1, [1e6] * (len(sizes) + 1))
+    engine = FlowEngine(sim, net)
+    flows = [engine.start_flow("h%d" % (i + 1), "h0", size)
+             for i, size in enumerate(sizes)]
+    sim.run()
+    for flow, size in zip(flows, sizes):
+        assert flow.remaining == 0.0
+        assert flow.finished_at is not None
+        # A flow can never beat its own access link.
+        assert flow.finished_at >= size / 1e6 - 1e-6

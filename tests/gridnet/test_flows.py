@@ -1,0 +1,203 @@
+"""Unit and property tests for max-min fair flow scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gridnet import FlowEngine, Network
+from repro.simulation import Simulation, SimulationError
+
+
+def dumbbell(sim, bottleneck_bw=1e6):
+    """Two hosts per side sharing one bottleneck link."""
+    net = Network(sim)
+    for host in ("a1", "a2", "b1", "b2"):
+        net.add_host(host)
+    net.add_router("ra")
+    net.add_router("rb")
+    for host in ("a1", "a2"):
+        net.add_link(host, "ra", latency=0.0, bandwidth=100e6)
+    for host in ("b1", "b2"):
+        net.add_link(host, "rb", latency=0.0, bandwidth=100e6)
+    net.add_link("ra", "rb", latency=0.0, bandwidth=bottleneck_bw)
+    return net
+
+
+def test_single_flow_gets_bottleneck_bandwidth():
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    flow = engine.start_flow("a1", "b1", 1e6)
+    sim.run()
+    assert flow.finished_at == pytest.approx(1.0)
+
+
+def test_two_flows_share_bottleneck_equally():
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    f1 = engine.start_flow("a1", "b1", 1e6)
+    f2 = engine.start_flow("a2", "b2", 1e6)
+    sim.run()
+    assert f1.finished_at == pytest.approx(2.0)
+    assert f2.finished_at == pytest.approx(2.0)
+
+
+def test_flow_departure_frees_bandwidth():
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    short = engine.start_flow("a1", "b1", 0.5e6)
+    long = engine.start_flow("a2", "b2", 1.5e6)
+    sim.run()
+    # Shared until short finishes at t=1 (0.5MB each), then long alone.
+    assert short.finished_at == pytest.approx(1.0)
+    assert long.finished_at == pytest.approx(2.0)
+
+
+def test_flow_on_disjoint_paths_independent():
+    sim = Simulation()
+    net = Network(sim)
+    for host in ("a", "b", "c", "d"):
+        net.add_host(host)
+    net.add_link("a", "b", latency=0.0, bandwidth=1e6)
+    net.add_link("c", "d", latency=0.0, bandwidth=1e6)
+    engine = FlowEngine(sim, net)
+    f1 = engine.start_flow("a", "b", 1e6)
+    f2 = engine.start_flow("c", "d", 1e6)
+    sim.run()
+    assert f1.finished_at == pytest.approx(1.0)
+    assert f2.finished_at == pytest.approx(1.0)
+
+
+def test_max_min_unbalanced_paths():
+    # Flow X crosses a tight link alone; flow Y shares a wide link with X.
+    sim = Simulation()
+    net = Network(sim)
+    for host in ("a", "b", "c"):
+        net.add_host(host)
+    net.add_link("a", "b", latency=0.0, bandwidth=1e6)   # tight
+    net.add_link("b", "c", latency=0.0, bandwidth=10e6)  # wide
+    engine = FlowEngine(sim, net)
+    tight = engine.start_flow("a", "c", 1e6)   # crosses both
+    wide = engine.start_flow("b", "c", 9e6)    # wide link only
+    # Max-min: tight flow pinned at 1e6 by a-b; wide flow gets 9e6.
+    assert engine.current_rate(tight) == pytest.approx(1e6)
+    assert engine.current_rate(wide) == pytest.approx(9e6)
+    sim.run()
+    assert tight.finished_at == pytest.approx(1.0)
+    assert wide.finished_at == pytest.approx(1.0)
+
+
+def test_bandwidth_cap_respected():
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    flow = engine.start_flow("a1", "b1", 1e6, bandwidth_cap=0.25e6)
+    assert engine.current_rate(flow) == pytest.approx(0.25e6)
+    sim.run()
+    assert flow.finished_at == pytest.approx(4.0)
+
+
+def test_capped_flow_leaves_bandwidth_to_peer():
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    capped = engine.start_flow("a1", "b1", 1e6, bandwidth_cap=0.2e6)
+    free = engine.start_flow("a2", "b2", 1.6e6)
+    assert engine.current_rate(free) == pytest.approx(0.8e6)
+    sim.run()
+    assert free.finished_at == pytest.approx(2.0)
+    assert capped.finished_at == pytest.approx(5.0)
+
+
+def test_transfer_includes_setup_and_propagation():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", latency=0.05, bandwidth=1e6)
+
+    def mover(sim):
+        yield from engine.transfer("a", "b", 1e6)
+        return sim.now
+
+    engine = FlowEngine(sim, net)
+    proc = sim.spawn(mover(sim))
+    # 1 RTT setup (0.1) + 1.0 transfer + 0.05 final propagation.
+    assert sim.run_until_complete(proc) == pytest.approx(1.15)
+
+
+def test_zero_byte_transfer_is_latency_only():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", latency=0.05, bandwidth=1e6)
+    engine = FlowEngine(sim, net)
+
+    def mover(sim):
+        yield from engine.transfer("a", "b", 0)
+        return sim.now
+
+    proc = sim.spawn(mover(sim))
+    assert sim.run_until_complete(proc) == pytest.approx(0.15)
+
+
+def test_loopback_flow_completes_immediately():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    engine = FlowEngine(sim, net)
+    flow = engine.start_flow("a", "a", 1e9)
+    sim.run()
+    assert flow.finished_at == pytest.approx(0.0)
+
+
+def test_flow_requires_registered_hosts():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    engine = FlowEngine(sim, net)
+    with pytest.raises(SimulationError):
+        engine.start_flow("a", "ghost", 100)
+
+
+def test_negative_flow_size_rejected():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", latency=0, bandwidth=1e6)
+    engine = FlowEngine(sim, net)
+    with pytest.raises(SimulationError):
+        engine.start_flow("a", "b", -5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(st.floats(min_value=1e4, max_value=5e6),
+                      min_size=1, max_size=5))
+def test_property_shared_bottleneck_conserves_capacity(sizes):
+    """Total completion never beats the bottleneck's aggregate capacity."""
+    sim = Simulation()
+    net = dumbbell(sim, bottleneck_bw=1e6)
+    engine = FlowEngine(sim, net)
+    flows = [engine.start_flow("a1", "b1", size) for size in sizes]
+    sim.run()
+    makespan = max(f.finished_at for f in flows)
+    assert makespan >= sum(sizes) / 1e6 - 1e-6
+    # All bytes delivered.
+    for flow in flows:
+        assert flow.remaining == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=1e4, max_value=1e6),
+       st.floats(min_value=1e4, max_value=1e6))
+def test_property_equal_flows_finish_together(x, y):
+    sim = Simulation()
+    net = dumbbell(sim)
+    engine = FlowEngine(sim, net)
+    f1 = engine.start_flow("a1", "b1", x)
+    f2 = engine.start_flow("a2", "b2", x)
+    sim.run()
+    assert f1.finished_at == pytest.approx(f2.finished_at)

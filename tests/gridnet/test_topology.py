@@ -1,0 +1,108 @@
+"""Unit tests for network topology and routing."""
+
+import pytest
+
+from repro.gridnet import Network
+from repro.simulation import Simulation, SimulationError
+
+
+def build_triangle(sim):
+    net = Network(sim)
+    for host in ("a", "b", "c"):
+        net.add_host(host)
+    net.add_link("a", "b", latency=0.010, bandwidth=1e6)
+    net.add_link("b", "c", latency=0.010, bandwidth=1e6)
+    net.add_link("a", "c", latency=0.050, bandwidth=10e6)
+    return net
+
+
+def test_add_duplicate_host_rejected():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    with pytest.raises(SimulationError):
+        net.add_host("a")
+
+
+def test_link_requires_known_nodes():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    with pytest.raises(SimulationError):
+        net.add_link("a", "ghost", latency=0.01, bandwidth=1e6)
+
+
+def test_route_prefers_lowest_latency():
+    sim = Simulation()
+    net = build_triangle(sim)
+    # a->c direct is 50ms; via b it is 20ms.
+    assert net.route("a", "c") == ["a", "b", "c"]
+    assert net.latency("a", "c") == pytest.approx(0.020)
+
+
+def test_rtt_is_twice_latency():
+    sim = Simulation()
+    net = build_triangle(sim)
+    assert net.rtt("a", "b") == pytest.approx(0.020)
+
+
+def test_bottleneck_bandwidth():
+    sim = Simulation()
+    net = build_triangle(sim)
+    assert net.bottleneck_bandwidth("a", "c") == pytest.approx(1e6)
+
+
+def test_route_to_self_is_trivial():
+    sim = Simulation()
+    net = build_triangle(sim)
+    assert net.route("a", "a") == ["a"]
+    assert net.latency("a", "a") == 0.0
+    assert net.bottleneck_bandwidth("a", "a") == float("inf")
+
+
+def test_no_route_raises():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a")
+    net.add_host("island")
+    with pytest.raises(SimulationError):
+        net.route("a", "island")
+
+
+def test_route_cache_invalidated_by_new_link():
+    sim = Simulation()
+    net = Network(sim)
+    for host in ("a", "b", "c"):
+        net.add_host(host)
+    net.add_link("a", "b", latency=0.01, bandwidth=1e6)
+    net.add_link("b", "c", latency=0.01, bandwidth=1e6)
+    assert net.route("a", "c") == ["a", "b", "c"]
+    net.add_link("a", "c", latency=0.001, bandwidth=1e6)
+    assert net.route("a", "c") == ["a", "c"]
+
+
+def test_single_lan_builder():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["h1", "h2", "h3"])
+    assert sorted(net.hosts) == ["h1", "h2", "h3"]
+    # Host-switch-host: two LAN hops.
+    assert net.rtt("h1", "h2") == pytest.approx(4 * 5e-5)
+    assert net.bottleneck_bandwidth("h1", "h2") == pytest.approx(12.5e6)
+
+
+def test_two_site_wan_builder():
+    sim = Simulation()
+    net = Network.two_site_wan(sim, "uf", ["compute"], "nw", ["image"])
+    assert net.has_host("compute") and net.has_host("image")
+    # LAN + WAN + LAN latency, dominated by the 15 ms WAN hop.
+    assert net.latency("compute", "image") == pytest.approx(0.015 + 2 * 5e-5)
+    assert net.bottleneck_bandwidth("compute", "image") == pytest.approx(2.5e6)
+    assert net.host_attributes("compute")["site"] == "uf"
+
+
+def test_link_between():
+    sim = Simulation()
+    net = build_triangle(sim)
+    link = net.link_between("a", "b")
+    assert link is not None and link.latency == pytest.approx(0.010)
+    assert net.link_between("b", "a") is link

@@ -1,0 +1,252 @@
+"""Unit tests for DHCP, tunneling and the self-optimizing overlay."""
+
+import pytest
+
+from repro.gridnet import (
+    DhcpServer,
+    EthernetTunnel,
+    FlowEngine,
+    Network,
+    NoAddressAvailable,
+    OverlayNetwork,
+)
+from repro.simulation import Simulation, SimulationError
+
+
+# ---------------------------------------------------------------------------
+# DHCP (Section 3.3, scenario 1)
+# ---------------------------------------------------------------------------
+
+def test_dhcp_grants_distinct_addresses():
+    sim = Simulation()
+    server = DhcpServer(sim, pool_size=4)
+
+    def client(sim, name, out):
+        lease = yield from server.acquire(name)
+        out.append(lease)
+
+    leases = []
+    sim.spawn(client(sim, "vm1", leases))
+    sim.spawn(client(sim, "vm2", leases))
+    sim.run()
+    assert len(leases) == 2
+    assert leases[0].address != leases[1].address
+    assert server.available == 2
+
+
+def test_dhcp_handshake_takes_time():
+    sim = Simulation()
+    server = DhcpServer(sim, handshake_time=0.5)
+
+    def client(sim):
+        yield from server.acquire("vm")
+        return sim.now
+
+    proc = sim.spawn(client(sim))
+    assert sim.run_until_complete(proc) == pytest.approx(0.5)
+
+
+def test_dhcp_pool_exhaustion():
+    sim = Simulation()
+    server = DhcpServer(sim, pool_size=1)
+
+    def client(sim, name):
+        yield from server.acquire(name)
+
+    sim.spawn(client(sim, "vm1"))
+    sim.run()
+
+    def second(sim):
+        yield from server.acquire("vm2")
+
+    sim.spawn(second(sim))
+    with pytest.raises(NoAddressAvailable):
+        sim.run()
+
+
+def test_dhcp_release_recycles_address():
+    sim = Simulation()
+    server = DhcpServer(sim, pool_size=1)
+    box = []
+
+    def cycle(sim):
+        lease = yield from server.acquire("vm1")
+        server.release(lease)
+        lease2 = yield from server.acquire("vm2")
+        box.append((lease, lease2))
+
+    sim.spawn(cycle(sim))
+    sim.run()
+    lease, lease2 = box[0]
+    assert not lease.active
+    assert lease2.active
+    assert lease.address == lease2.address
+
+
+def test_dhcp_double_release_is_error():
+    sim = Simulation()
+    server = DhcpServer(sim)
+    box = []
+
+    def client(sim):
+        lease = yield from server.acquire("vm")
+        box.append(lease)
+
+    sim.spawn(client(sim))
+    sim.run()
+    server.release(box[0])
+    with pytest.raises(SimulationError):
+        server.release(box[0])
+
+
+# ---------------------------------------------------------------------------
+# Ethernet tunneling (Section 3.3, scenario 2)
+# ---------------------------------------------------------------------------
+
+def make_wan(sim):
+    net = Network.two_site_wan(sim, "provider", ["vmhost"],
+                               "home", ["gateway"],
+                               wan_latency=0.02, wan_bandwidth=1e6)
+    return net, FlowEngine(sim, net)
+
+
+def test_tunnel_establish_assigns_home_address():
+    sim = Simulation()
+    net, engine = make_wan(sim)
+    tunnel = EthernetTunnel(sim, net, engine, "vmhost", "gateway",
+                            setup_time=1.0)
+
+    def bring_up(sim):
+        address = yield from tunnel.establish("vm1")
+        return address
+
+    proc = sim.spawn(bring_up(sim))
+    address = sim.run_until_complete(proc)
+    assert tunnel.established
+    assert address == "home-net/vm1"
+    # Setup + one WAN round trip.
+    assert sim.now == pytest.approx(1.0 + net.rtt("vmhost", "gateway"))
+
+
+def test_tunnel_transfer_requires_establishment():
+    sim = Simulation()
+    net, engine = make_wan(sim)
+    tunnel = EthernetTunnel(sim, net, engine, "vmhost", "gateway")
+
+    def mover(sim):
+        yield from tunnel.transfer(1000)
+
+    sim.spawn(mover(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_tunnel_charges_encapsulation_overhead():
+    sim = Simulation()
+    net, engine = make_wan(sim)
+    tunnel = EthernetTunnel(sim, net, engine, "vmhost", "gateway",
+                            encapsulation_overhead=0.10, setup_time=0.0)
+
+    def mover(sim):
+        yield from tunnel.establish("vm")
+        start = sim.now
+        yield from tunnel.transfer(1e6)
+        return sim.now - start
+
+    proc = sim.spawn(mover(sim))
+    duration = sim.run_until_complete(proc)
+    # 1.1 MB over a 1 MB/s bottleneck plus propagation.
+    assert duration == pytest.approx(1.1 + net.latency("vmhost", "gateway"),
+                                     rel=1e-3)
+    assert tunnel.bytes_tunnelled == 1_000_000
+
+
+def test_tunnel_effective_bandwidth_below_raw():
+    sim = Simulation()
+    net, engine = make_wan(sim)
+    tunnel = EthernetTunnel(sim, net, engine, "vmhost", "gateway",
+                            encapsulation_overhead=0.25)
+    assert tunnel.effective_bandwidth() == pytest.approx(1e6 / 1.25)
+
+
+def test_tunnel_rejects_unknown_endpoints():
+    sim = Simulation()
+    net, engine = make_wan(sim)
+    with pytest.raises(SimulationError):
+        EthernetTunnel(sim, net, engine, "vmhost", "nowhere")
+
+
+# ---------------------------------------------------------------------------
+# Overlay (Section 3.3, "natural extension")
+# ---------------------------------------------------------------------------
+
+def overlay_fixture(sim):
+    net = Network(sim)
+    for host in ("x", "y", "z"):
+        net.add_host(host)
+    net.add_link("x", "y", latency=0.010, bandwidth=1e6)
+    net.add_link("y", "z", latency=0.010, bandwidth=1e6)
+    net.add_link("x", "z", latency=0.012, bandwidth=1e6)
+    overlay = OverlayNetwork(sim, net, per_hop_forwarding_cost=0.001)
+    for host in ("x", "y", "z"):
+        overlay.join(host)
+    return net, overlay
+
+
+def test_overlay_requires_measurement_before_routing():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    with pytest.raises(SimulationError):
+        overlay.overlay_route("x", "z")
+
+
+def test_overlay_uses_direct_path_when_best():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    proc = sim.spawn(overlay.measure())
+    sim.run_until_complete(proc)
+    assert overlay.overlay_route("x", "z") == ["x", "z"]
+    assert overlay.improvement("x", "z") == pytest.approx(0.0)
+
+
+def test_overlay_routes_around_policy_penalty():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    # Policy routing makes the direct x-z path terrible (e.g. 100 ms).
+    overlay.set_underlay_penalty("x", "z", 0.100)
+    proc = sim.spawn(overlay.measure())
+    sim.run_until_complete(proc)
+    assert overlay.overlay_route("x", "z") == ["x", "y", "z"]
+    # Relay path: 10 + 10 ms plus 1 ms forwarding = 21 ms vs 112 ms direct.
+    assert overlay.overlay_latency("x", "z") == pytest.approx(0.021)
+    assert overlay.improvement("x", "z") == pytest.approx(0.112 - 0.021)
+
+
+def test_overlay_membership_management():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    assert sorted(overlay.members) == ["x", "y", "z"]
+    overlay.leave("y")
+    assert sorted(overlay.members) == ["x", "z"]
+    with pytest.raises(SimulationError):
+        overlay.leave("y")
+    with pytest.raises(SimulationError):
+        overlay.join("x")
+
+
+def test_overlay_measure_costs_worst_rtt():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    overlay.set_underlay_penalty("x", "z", 0.100)
+    proc = sim.spawn(overlay.measure())
+    sim.run_until_complete(proc)
+    assert sim.now == pytest.approx(2 * 0.112)
+
+
+def test_overlay_routing_table_covers_all_pairs():
+    sim = Simulation()
+    _net, overlay = overlay_fixture(sim)
+    proc = sim.spawn(overlay.measure())
+    sim.run_until_complete(proc)
+    table = overlay.routing_table()
+    assert len(table) == 3

@@ -1,0 +1,198 @@
+"""Unit tests for the operating-system model on physical hardware."""
+
+import pytest
+
+from repro.guestos import GuestOsProfile, OperatingSystem, OsCosts
+from repro.simulation import Simulation, SimulationError
+from repro.storage import StorageError
+from repro.workloads import (
+    Application,
+    ComputePhase,
+    IoPhase,
+    KernelEventRates,
+    synthetic_compute,
+)
+from tests.support import booted_host_os, physical_rig, run
+
+
+def test_mount_and_resolve_longest_prefix():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host)
+    os.mount("/", host.root_fs)
+    other = object()
+
+    class FakeFs:
+        pass
+
+    fake = FakeFs()
+    os.mount("/data", fake)
+    fs, _path = os.resolve("/data/input.bin")
+    assert fs is fake
+    fs, _path = os.resolve("/etc/passwd")
+    assert fs is host.root_fs
+
+
+def test_mount_validation():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host)
+    with pytest.raises(SimulationError):
+        os.mount("relative", host.root_fs)
+    os.mount("/", host.root_fs)
+    with pytest.raises(SimulationError):
+        os.mount("/", host.root_fs)
+
+
+def test_unmount():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host)
+    os.mount("/", host.root_fs)
+    os.unmount("/")
+    with pytest.raises(StorageError):
+        os.resolve("/anything")
+    with pytest.raises(SimulationError):
+        os.unmount("/")
+
+
+def test_run_application_requires_boot():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host)
+    os.mount("/", host.root_fs)
+    with pytest.raises(SimulationError):
+        run(sim, os.run_application(synthetic_compute(1.0)))
+
+
+def test_compute_accounting_on_physical_is_exact():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    app = Application("job", [ComputePhase(10.0, 2.0,
+                                           KernelEventRates(1000.0, 500.0))])
+    result = run(sim, os.run_application(app))
+    # Physical hardware: kernel-event rates cost nothing extra.
+    assert result.user_time == pytest.approx(10.0)
+    assert result.sys_time == pytest.approx(2.0)
+    assert result.wall_time == pytest.approx(12.0)
+    assert result.cpu_time == pytest.approx(12.0)
+
+
+def test_io_phase_moves_time_and_charges_sys():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, disk_rate=10e6)
+    os = booted_host_os(sim, host)
+    nbytes = 10_000_000
+    app = Application("reader", [IoPhase("/data/in", nbytes)],
+                      input_files={"/data/in": nbytes})
+    result = run(sim, os.run_application(app))
+    assert result.io_bytes == nbytes
+    # Wall time at least the disk streaming time.
+    assert result.wall_time >= nbytes / 10e6
+    # Sys time from the native I/O path cost model.
+    assert result.sys_time > 0
+    assert result.user_time == 0.0
+
+
+def test_io_write_phase_creates_output():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    app = Application("writer", [IoPhase("/out/result", 1_000_000,
+                                         write=True)])
+    run(sim, os.run_application(app))
+    assert host.root_fs.exists("/out/result")
+
+
+def test_input_files_provisioned_once():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    app = Application("job", [IoPhase("/data/in", 1000)],
+                      input_files={"/data/in": 1000})
+    run(sim, os.run_application(app))
+    run(sim, os.run_application(app))
+    assert len(os.results) == 2
+
+
+def test_results_recorded_in_order():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    run(sim, os.run_application(synthetic_compute(1.0, name="first")))
+    run(sim, os.run_application(synthetic_compute(1.0, name="second")))
+    assert [r.name for r in os.results] == ["first", "second"]
+
+
+def test_two_applications_share_cpu():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, cores=1)
+    os = booted_host_os(sim, host)
+    sim.spawn(os.run_application(synthetic_compute(5.0, name="a")))
+    sim.spawn(os.run_application(synthetic_compute(5.0, name="b")))
+    sim.run()
+    # ~10 s each (plus a tiny context-switch tax while time-sliced).
+    assert all(r.wall_time == pytest.approx(10.0, rel=0.01)
+               for r in os.results)
+    assert all(r.wall_time >= 10.0 for r in os.results)
+    assert all(r.user_time == pytest.approx(5.0) for r in os.results)
+
+
+def test_boot_requires_install():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host, profile=GuestOsProfile(boot_jitter=0.0))
+    os.mount("/", host.root_fs)
+    with pytest.raises(StorageError):
+        run(sim, os.boot())
+
+
+def test_boot_reads_and_computes():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, disk_rate=20e6)
+    profile = GuestOsProfile(kernel_read_bytes=4 * 1024 * 1024,
+                             scattered_reads=100,
+                             scattered_read_bytes=32768,
+                             boot_cpu_user=1.0, boot_cpu_sys=1.0,
+                             boot_jitter=0.0,
+                             boot_footprint_bytes=64 * 1024 * 1024)
+    os = OperatingSystem(host, profile=profile)
+    os.mount("/", host.root_fs)
+    os.install()
+    duration = run(sim, os.boot())
+    assert os.booted
+    assert duration == pytest.approx(os.boot_duration)
+    # At least the CPU part plus 100 seeks.
+    assert duration > 2.0 + 100 * 0.004 * 0.5
+
+
+def test_double_boot_rejected():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    with pytest.raises(SimulationError):
+        run(sim, os.boot())
+
+
+def test_shutdown_then_not_booted():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    run(sim, os.shutdown())
+    assert not os.booted
+    with pytest.raises(SimulationError):
+        run(sim, os.shutdown())
+
+
+def test_os_costs_io_model():
+    costs = OsCosts(syscall=1e-6, io_cpu_per_byte=1e-9)
+    assert costs.io_sys_seconds(1000, 10) == pytest.approx(1e-5 + 1e-6)
+
+
+def test_provision_file():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    os.provision_file("/var/data", 12345)
+    assert host.root_fs.size("/var/data") == 12345

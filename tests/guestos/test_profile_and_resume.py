@@ -1,0 +1,90 @@
+"""Tests for guest-OS profiles, resume, and playback saturation."""
+
+import pytest
+
+from repro.guestos import GuestOsProfile, OperatingSystem, OsCosts
+from repro.simulation import Simulation, SimulationError
+from repro.workloads import HostLoadTrace, LoadPlayback
+from tests.support import booted_host_os, physical_rig, run
+
+
+# ---------------------------------------------------------------------------
+# GuestOsProfile
+# ---------------------------------------------------------------------------
+
+def test_profile_validation():
+    with pytest.raises(SimulationError):
+        GuestOsProfile(scattered_reads=-1)
+    with pytest.raises(SimulationError):
+        GuestOsProfile(kernel_read_bytes=-1)
+    with pytest.raises(SimulationError):
+        GuestOsProfile(boot_jitter=1.0)
+    with pytest.raises(SimulationError):
+        GuestOsProfile(timer_hz=-1.0)
+
+
+def test_total_boot_read_bytes():
+    profile = GuestOsProfile(kernel_read_bytes=10_000_000,
+                             scattered_reads=100,
+                             scattered_read_bytes=1000)
+    assert profile.total_boot_read_bytes == 10_100_000
+
+
+def test_os_costs_validation():
+    with pytest.raises(SimulationError):
+        OsCosts(syscall=-1.0)
+    with pytest.raises(SimulationError):
+        OsCosts(quantum=0.0)
+
+
+# ---------------------------------------------------------------------------
+# resume()
+# ---------------------------------------------------------------------------
+
+def test_resume_marks_booted_and_costs_cpu():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = OperatingSystem(host)
+    os.mount("/", host.root_fs)
+    assert not os.booted
+    run(sim, os.resume())
+    assert os.booted
+    assert sim.now > 0  # resume CPU was consumed
+
+
+def test_boot_jitter_varies_durations():
+    durations = set()
+    for seed in range(4):
+        import random
+        sim = Simulation()
+        _machine, host = physical_rig(sim)
+        profile = GuestOsProfile(kernel_read_bytes=4 * 1024 * 1024,
+                                 scattered_reads=200,
+                                 boot_cpu_user=2.0, boot_cpu_sys=2.0,
+                                 boot_jitter=0.2,
+                                 boot_footprint_bytes=64 * 1024 * 1024)
+        os = OperatingSystem(host, profile=profile,
+                             rng=random.Random(seed))
+        os.mount("/", host.root_fs)
+        os.install()
+        durations.add(round(run(sim, os.boot()), 3))
+    assert len(durations) > 1
+
+
+# ---------------------------------------------------------------------------
+# Playback under saturation
+# ---------------------------------------------------------------------------
+
+def test_playback_drops_excess_on_saturated_machine():
+    """A mean-2.0 trace cannot fit on one core: the playback holds the
+    queue steady and reports the dropped work instead of diverging."""
+    sim = Simulation()
+    _machine, host = physical_rig(sim, cores=1)
+    os = booted_host_os(sim, host)
+    playback = LoadPlayback(os, HostLoadTrace([2.0] * 60, interval=1.0))
+    injected = run(sim, playback.run(60.0))
+    assert playback.work_dropped > 0
+    assert injected + playback.work_dropped == pytest.approx(120.0)
+    # Injection stabilizes near the machine's capacity (1 CPU-s/s),
+    # rather than queueing unboundedly.
+    assert injected < 90.0

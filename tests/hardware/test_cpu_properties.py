@@ -1,0 +1,115 @@
+"""Property-based tests of the hierarchical CPU's fairness invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.hardware.cpu import _waterfill
+from repro.simulation import Simulation
+
+
+# ---------------------------------------------------------------------------
+# _waterfill: the allocation core used at both scheduling levels
+# ---------------------------------------------------------------------------
+
+item_strategy = st.tuples(
+    st.floats(min_value=0.1, max_value=10.0),   # weight
+    st.floats(min_value=0.0, max_value=2.0),    # cap
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(items=st.lists(item_strategy, min_size=1, max_size=8),
+       capacity=st.floats(min_value=0.0, max_value=8.0))
+def test_waterfill_conserves_and_respects_caps(items, capacity):
+    keyed = [(i, weight, cap) for i, (weight, cap) in enumerate(items)]
+    shares = _waterfill(keyed, capacity)
+    # Every item allocated, no cap violated, nothing negative.
+    assert set(shares) == set(range(len(items)))
+    for key, weight, cap in keyed:
+        assert -1e-9 <= shares[key] <= cap + 1e-9
+    # Total never exceeds capacity.
+    assert sum(shares.values()) <= capacity + 1e-6
+    # Work-conserving: if demand (sum of caps) >= capacity, all of the
+    # capacity is handed out.
+    total_cap = sum(cap for _k, _w, cap in keyed)
+    if total_cap >= capacity:
+        assert sum(shares.values()) == pytest.approx(
+            min(capacity, total_cap), rel=1e-6, abs=1e-6)
+    else:
+        assert sum(shares.values()) == pytest.approx(total_cap, abs=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(weights=st.lists(st.floats(min_value=0.1, max_value=10.0),
+                        min_size=2, max_size=6))
+def test_waterfill_uncapped_shares_proportional_to_weights(weights):
+    keyed = [(i, w, float("inf")) for i, w in enumerate(weights)]
+    shares = _waterfill(keyed, 1.0)
+    total_weight = sum(weights)
+    for i, weight in enumerate(weights):
+        assert shares[i] == pytest.approx(weight / total_weight, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end CPU invariants with groups
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(group_sizes=st.lists(st.integers(min_value=1, max_value=3),
+                            min_size=1, max_size=3),
+       singles=st.integers(min_value=0, max_value=2),
+       cores=st.integers(min_value=1, max_value=4))
+def test_property_group_work_conservation(group_sizes, singles, cores):
+    """All submitted work completes; makespan is physically sensible."""
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=cores, context_switch_cost=0.0)
+    tasks = []
+    for g, size in enumerate(group_sizes):
+        group = TaskGroup("g%d" % g)
+        for m in range(size):
+            task = CpuTask("g%d-t%d" % (g, m), work=2.0, group=group)
+            tasks.append(task)
+            cpu.submit(task)
+    for s in range(singles):
+        task = CpuTask("s%d" % s, work=2.0)
+        tasks.append(task)
+        cpu.submit(task)
+    sim.run()
+    total_work = 2.0 * len(tasks)
+    makespan = max(t.finished_at for t in tasks)
+    assert all(t.remaining == pytest.approx(0.0, abs=1e-6) for t in tasks)
+    # Lower bound: total work over all cores; per-vCPU group ceilings
+    # can only stretch it further.
+    assert makespan >= total_work / cores - 1e-6
+    # Upper bound: fully serialized execution.
+    assert makespan <= total_work + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(members=st.integers(min_value=1, max_value=5),
+       cores=st.integers(min_value=1, max_value=4))
+def test_property_group_never_exceeds_vcpu_ceiling(members, cores):
+    """N guest tasks in a 1-vCPU group take >= N*work wall seconds."""
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=cores, context_switch_cost=0.0)
+    group = TaskGroup("vm", vcpus=1)
+    tasks = [CpuTask("t%d" % i, work=1.0, group=group)
+             for i in range(members)]
+    for task in tasks:
+        cpu.submit(task)
+    sim.run()
+    makespan = max(t.finished_at for t in tasks)
+    assert makespan >= members * 1.0 - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(cap=st.floats(min_value=0.1, max_value=0.9))
+def test_property_group_cap_is_exact(cap):
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    group = TaskGroup("vm", max_rate=cap)
+    task = CpuTask("t", work=1.0, group=group)
+    cpu.submit(task)
+    sim.run()
+    assert task.finished_at == pytest.approx(1.0 / cap, rel=1e-6)

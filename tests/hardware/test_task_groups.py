@@ -1,0 +1,169 @@
+"""Tests for hierarchical (VMM-style) CPU scheduling with task groups."""
+
+import pytest
+
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.simulation import Simulation
+
+
+def run_tasks(cores, tasks, context_switch_cost=0.0, quantum=0.01):
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=cores, quantum=quantum,
+                              context_switch_cost=context_switch_cost)
+    for task in tasks:
+        cpu.submit(task)
+    sim.run()
+    return sim, cpu
+
+
+def test_group_competes_as_single_entity():
+    """Two guest tasks in one VM get one host share, not two."""
+    vm = TaskGroup("vm")
+    guest_a = CpuTask("ga", work=1.0, group=vm)
+    guest_b = CpuTask("gb", work=1.0, group=vm)
+    native = CpuTask("native", work=2.0)
+    sim, _cpu = run_tasks(cores=1, tasks=[guest_a, guest_b, native])
+    # Host splits 50/50 between VM and native; guests split the VM's half.
+    # Guests each run at 0.25: done at t=4.  Native at 0.5 until t=4 (2.0
+    # done) -> native also finishes at 4.
+    assert native.finished_at == pytest.approx(4.0)
+    assert guest_a.finished_at == pytest.approx(4.0)
+    assert guest_b.finished_at == pytest.approx(4.0)
+
+
+def test_uniprocessor_group_capped_at_one_core():
+    """A 1-vcpu VM cannot use both cores even when they are free."""
+    vm = TaskGroup("vm", vcpus=1)
+    guest_a = CpuTask("ga", work=2.0, group=vm)
+    guest_b = CpuTask("gb", work=2.0, group=vm)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest_a, guest_b])
+    # Together they can only use one core: 4 CPU-seconds take 4 wall-secs.
+    assert guest_a.finished_at == pytest.approx(4.0)
+
+
+def test_two_vcpu_group_uses_both_cores():
+    vm = TaskGroup("vm", vcpus=2)
+    guest_a = CpuTask("ga", work=2.0, group=vm)
+    guest_b = CpuTask("gb", work=2.0, group=vm)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest_a, guest_b])
+    assert guest_a.finished_at == pytest.approx(2.0)
+    assert guest_b.finished_at == pytest.approx(2.0)
+
+
+def test_two_groups_share_like_two_processes():
+    vm1 = TaskGroup("vm1")
+    vm2 = TaskGroup("vm2")
+    a = CpuTask("a", work=1.0, group=vm1)
+    b = CpuTask("b", work=1.0, group=vm2)
+    sim, _cpu = run_tasks(cores=1, tasks=[a, b])
+    assert a.finished_at == pytest.approx(2.0)
+    assert b.finished_at == pytest.approx(2.0)
+
+
+def test_group_max_rate_enforced():
+    vm = TaskGroup("vm", max_rate=0.25)
+    guest = CpuTask("g", work=1.0, group=vm)
+    sim, _cpu = run_tasks(cores=1, tasks=[guest])
+    assert guest.finished_at == pytest.approx(4.0)
+
+
+def test_group_weight_respected():
+    vm = TaskGroup("vm", weight=3.0)
+    guest = CpuTask("g", work=3.0, group=vm)
+    native = CpuTask("n", work=3.0)
+    sim, _cpu = run_tasks(cores=1, tasks=[guest, native])
+    # VM gets 3/4 of the core: finishes its 3s at t=4.
+    assert guest.finished_at == pytest.approx(4.0)
+
+
+def test_world_switch_tax_applies_when_host_contended():
+    """A VM preempted by host load pays the world-switch price."""
+    vm = TaskGroup("vm", extra_switch_cost=4e-4)  # expensive world switch
+    guest = CpuTask("g", work=1.0, group=vm)
+    load = CpuTask("load", work=10.0)
+    sim, _cpu = run_tasks(cores=1, tasks=[guest, load],
+                          context_switch_cost=1e-4, quantum=0.01)
+    # Share 0.5, tax (1e-4 + 4e-4)/0.01 = 5%: rate 0.475.
+    assert guest.finished_at == pytest.approx(1.0 / 0.475, rel=1e-6)
+
+
+def test_no_world_switch_tax_when_uncontended():
+    vm = TaskGroup("vm", extra_switch_cost=4e-4)
+    guest = CpuTask("g", work=1.0, group=vm)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest],
+                          context_switch_cost=1e-4)
+    assert guest.finished_at == pytest.approx(1.0)
+
+
+def test_guest_context_switch_tax_inside_busy_vm():
+    """Two guest processes sharing one vCPU pay emulated switches."""
+    vm = TaskGroup("vm", member_switch_cost=1e-3, member_quantum=0.01)
+    guest_a = CpuTask("ga", work=1.0, group=vm)
+    guest_b = CpuTask("gb", work=1.0, group=vm)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest_a, guest_b])
+    # Each guest: share 0.5, member tax 10% -> rate 0.45.
+    assert guest_a.finished_at == pytest.approx(1.0 / 0.45, rel=1e-6)
+
+
+def test_single_guest_pays_no_member_tax():
+    vm = TaskGroup("vm", member_switch_cost=1e-3)
+    guest = CpuTask("g", work=1.0, group=vm)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest])
+    assert guest.finished_at == pytest.approx(1.0)
+
+
+def test_group_and_native_on_two_cores_uncontended():
+    """One VM plus one native task on a dual-CPU host: no interference."""
+    vm = TaskGroup("vm", extra_switch_cost=4e-4)
+    guest = CpuTask("g", work=3.0, group=vm)
+    native = CpuTask("n", work=3.0)
+    sim, _cpu = run_tasks(cores=2, tasks=[guest, native],
+                          context_switch_cost=1e-4)
+    assert guest.finished_at == pytest.approx(3.0)
+    assert native.finished_at == pytest.approx(3.0)
+
+
+def test_update_group_max_rate_midway():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm")
+    guest = CpuTask("g", work=4.0, group=vm)
+    cpu.submit(guest)
+
+    def throttle(sim):
+        yield sim.timeout(2.0)
+        cpu.update_group(vm, max_rate=0.5)
+
+    sim.spawn(throttle(sim))
+    sim.run()
+    assert guest.finished_at == pytest.approx(6.0)
+
+
+def test_update_group_weight_midway():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm", weight=1.0)
+    guest = CpuTask("g", work=4.0, group=vm)
+    native = CpuTask("n", work=100.0)
+    cpu.submit(guest)
+    cpu.submit(native)
+
+    def boost(sim):
+        yield sim.timeout(2.0)
+        cpu.update_group(vm, weight=3.0)
+
+    sim.spawn(boost(sim))
+    sim.run()
+    # 2s at 0.5 rate = 1.0 done; then 3.0 left at 0.75 = 4s more.
+    assert guest.finished_at == pytest.approx(6.0)
+
+
+def test_group_departure_returns_capacity():
+    vm = TaskGroup("vm")
+    guest = CpuTask("g", work=1.0, group=vm)
+    native = CpuTask("n", work=2.0)
+    sim, _cpu = run_tasks(cores=1, tasks=[guest, native])
+    # Share until guest finishes at t=2 (native has 1.0 done), then native
+    # runs alone for its last 1.0.
+    assert guest.finished_at == pytest.approx(2.0)
+    assert native.finished_at == pytest.approx(3.0)

@@ -1,0 +1,165 @@
+"""Section 2.2's qualitative claims, demonstrated as invariants.
+
+"Security and isolation", "Customization", "Administrator privileges",
+"Resource control", "Site-independence" — each argued qualitatively in
+the paper, each checkable mechanically here.
+"""
+
+import pytest
+
+from repro.guestos import GuestOsProfile
+from repro.workloads import (
+    Application,
+    IoPhase,
+    architecture_simulation,
+    device_simulation,
+    synthetic_compute,
+)
+from tests.support import MB, TINY_GUEST, demo_grid, tiny_session_config
+
+
+def two_user_grid():
+    grid = demo_grid()
+    grid.add_user("mallory")
+    good = grid.new_session(tiny_session_config(vm_name="ana-vm"))
+    evil = grid.new_session(tiny_session_config(user="mallory",
+                                                vm_name="mallory-vm"))
+    grid.run(good.establish())
+    grid.run(evil.establish())
+    return grid, good, evil
+
+
+def test_filesystem_isolation_between_vms():
+    """A malicious user 'can only compromise their own operating system
+    within a virtual machine' — the guests share no file namespace."""
+    grid, good, evil = two_user_grid()
+    # Mallory fills her guest with garbage.
+    vandalism = Application("rm-rf", [IoPhase("/etc/passwd", 1 * MB,
+                                              write=True)])
+    grid.run(evil.run_application(vandalism))
+    # Ana's guest has no such file; Mallory's writes landed in her own
+    # guest FS and her own copy-on-write diff only.
+    assert not good.guest_os.resolve("/etc/passwd")[0].exists(
+        "/etc/passwd")
+    assert evil.vm.vdisk.diff_bytes > 0
+    assert good.vm.vdisk.diff_bytes == 0
+    # The shared master image was never written.
+    image_fs = grid.image_server_for("images1").fs
+    assert image_fs.size("rh72") == good.vm.vdisk.base.size_bytes
+
+
+def test_host_filesystem_protected_from_guests():
+    """Guest writes never reach the host's namespace directly — only
+    the VM's own diff file grows."""
+    grid, good, _evil = two_user_grid()
+    host_fs = good.vmm.host.root_fs
+    files_before = set(host_fs.listdir())
+    grid.run(good.run_application(
+        Application("w", [IoPhase("/anywhere", 4 * MB, write=True)])))
+    new_files = set(host_fs.listdir()) - files_before
+    # At most the VM's own diff appeared; no foreign host files.
+    assert new_files <= {good.vm.vdisk.diff_name}
+
+
+def test_resource_isolation_under_attack():
+    """A fork-bomb in Mallory's VM cannot starve Ana's VM below its
+    fair share: VMs compete as single entities."""
+    grid, good, evil = two_user_grid()
+    # Mallory spawns many concurrent hogs inside her guest.
+    for i in range(6):
+        grid.sim.spawn(evil.guest_os.run_application(
+            synthetic_compute(500.0, name="hog%d" % i)))
+    start = grid.sim.now
+    result = grid.run(good.run_application(synthetic_compute(10.0)))
+    # Dual-core host, two VM entities: Ana still gets a full core.
+    assert result.wall_time < 10.0 * 1.10
+
+
+def test_root_in_guest_is_harmless():
+    """'It is then possible to grant root privileges to untrusted grid
+    applications' — root inside the guest touches nothing outside."""
+    grid, good, evil = two_user_grid()
+    host_files_before = set(good.vmm.host.root_fs.listdir())
+    result = grid.run(evil.run_application(
+        Application("rootkit", [IoPhase("/boot/system", 1 * MB,
+                                        write=True)]),
+        ))
+    assert result is not None
+    # Host untouched except possibly Mallory's own diff growth.
+    after = set(good.vmm.host.root_fs.listdir())
+    assert after - host_files_before <= {evil.vm.vdisk.diff_name}
+
+
+def test_guest_user_identity_decoupled_from_owner():
+    """In-guest identities are arbitrary; accounting still binds the VM
+    to its logical owner."""
+    grid, good, _evil = two_user_grid()
+    result = grid.run(good.guest_os.run_application(
+        synthetic_compute(1.0), guest_user="root"))
+    assert result.guest_user == "root"
+    assert good.vm.owner == "ana"           # middleware-level identity
+
+
+def test_customization_per_user_virtual_hardware():
+    """'Virtual machines can be highly customized without requiring
+    system restarts': two VMs with different memory/OS on one host."""
+    grid = demo_grid()
+    big_profile = GuestOsProfile(name="redhat-7.1",
+                                 kernel_read_bytes=TINY_GUEST
+                                 .kernel_read_bytes,
+                                 scattered_reads=TINY_GUEST.scattered_reads,
+                                 scattered_read_bytes=TINY_GUEST
+                                 .scattered_read_bytes,
+                                 boot_cpu_user=0.5, boot_cpu_sys=0.5,
+                                 boot_jitter=0.0,
+                                 boot_footprint_bytes=64 * MB)
+    small = grid.new_session(tiny_session_config(vm_name="small-vm",
+                                                 memory_mb=64))
+    big = grid.new_session(tiny_session_config(
+        vm_name="big-vm", memory_mb=256, guest_profile=big_profile))
+    grid.run(small.establish())
+    grid.run(big.establish())
+    assert small.vm.config.memory_mb == 64
+    assert big.vm.config.memory_mb == 256
+    assert small.vmm is big.vmm              # same physical machine
+    assert big.vm.guest_os.name == "redhat-7.1"
+    assert small.vm.guest_os.name == "redhat-7.2"
+
+
+def test_site_independence_same_image_either_site():
+    """'A VM guest presents a consistent run-time environment regardless
+    of the software configuration of the VM host'."""
+    grid = demo_grid()
+    grid.add_compute_host("compute2", site="nw")
+    app = device_simulation(hours=0.002)
+    results = {}
+    for host in ("compute1", "compute2"):
+        session = grid.new_session(tiny_session_config(
+            vm_name="vm-on-" + host, host_constraints={"host": host}))
+        grid.run(session.establish())
+        results[host] = grid.run(session.run_application(app))
+    # Identical environment: identical user/sys accounting on both
+    # hosts (wall differs with WAN distance to the image server).
+    assert results["compute1"].user_time == pytest.approx(
+        results["compute2"].user_time)
+    assert results["compute1"].sys_time == pytest.approx(
+        results["compute2"].sys_time, rel=0.01)
+
+
+def test_punch_workloads_profiles():
+    arch = architecture_simulation(hours=0.5)
+    device = device_simulation(hours=0.5)
+    assert arch.total_user_seconds == pytest.approx(0.5 * 3600 * 0.995,
+                                                    rel=0.01)
+    assert device.total_io_bytes == 12 * MB
+    # Device simulation faults harder than the architecture simulator.
+    from repro.workloads import ComputePhase
+    arch_rate = max(p.rates.pagefaults_per_sec for p in arch.phases
+                    if isinstance(p, ComputePhase))
+    device_rate = max(p.rates.pagefaults_per_sec for p in device.phases
+                      if isinstance(p, ComputePhase))
+    assert device_rate > 2 * arch_rate
+    with pytest.raises(Exception):
+        architecture_simulation(hours=0.0)
+    with pytest.raises(Exception):
+        device_simulation(hours=-1.0)

@@ -1,0 +1,155 @@
+"""Cross-subsystem integration scenarios.
+
+Each test combines several of the paper's mechanisms the way a real
+deployment would — sessions + consoles + scheduling + metering +
+archival — and checks that their interactions behave physically.
+"""
+
+import pytest
+
+from repro.hardware import CpuTask
+from repro.middleware import TapeArchive, UsageMeter, VncConsole
+from repro.scheduling import InteractivePolicyDaemon, parse_constraints
+from repro.vmm import VmState
+from repro.workloads import synthetic_compute
+from tests.support import TINY_GUEST, demo_grid, tiny_session_config
+
+
+def established(grid=None, **overrides):
+    grid = grid or demo_grid()
+    session = grid.new_session(tiny_session_config(**overrides))
+    grid.run(session.establish())
+    return grid, session
+
+
+def test_console_stalls_during_hibernation():
+    """An interactive user feels a hibernate/wake cycle as one long
+    keystroke — the latency cost of treating machines as data."""
+    grid, session = established()
+    grid.add_compute_host("desk", site="uf")
+    console = VncConsole(grid, session.vm, "desk")
+    grid.run(console.typing_burst(count=3, think_time=0.01))
+    baseline = console.latency.mean
+
+    grid.run(session.hibernate())
+    stroke = grid.sim.spawn(console.keystroke())
+    hibernated_at = grid.sim.now
+    grid.sim.run(until=hibernated_at + 30.0)
+    assert stroke.is_alive                     # stuck: guest is frozen
+    grid.run(session.wake())
+    rtt = grid.sim.run_until_complete(stroke)
+    assert rtt > 30.0                          # the whole frozen window
+    assert rtt > 100 * baseline
+
+
+def test_owner_policy_throttles_grid_session():
+    """The desktop-owner story end to end: a grid VM on an owner's
+    machine is throttled the moment the owner starts working."""
+    grid, session = established(host_constraints={"host": "compute1"})
+    cpu = session.vmm.machine.cpu
+    policy = parse_constraints("limit cpu 0.9\nlimit cpu 0.1 "
+                               "when interactive")
+    daemon = InteractivePolicyDaemon(cpu, [session.vm.group], policy,
+                                     poll_interval=0.2)
+    daemon.start()
+
+    job = grid.sim.spawn(session.run_application(synthetic_compute(60.0)))
+    start = grid.sim.now
+    grid.sim.run(until=start + 10.0)
+
+    # Owner sits down for 30 seconds of editing.
+    owner = CpuTask("owner-editing", work=4.0, max_rate=0.2)
+    cpu.submit(owner)
+    grid.sim.run(until=start + 40.0)
+    assert daemon.transitions >= 1
+    grid.sim.run_until_complete(job)
+    wall = grid.sim.now - start
+    # 60s of work: ~10s nearly full speed, ~20-30s at 10%, rest at 90%:
+    # far slower than unthrottled but it did finish.
+    assert wall > 70.0
+    daemon.stop()
+
+
+def test_two_users_billed_separately():
+    """A CPU-server provider meters two tenants independently."""
+    grid = demo_grid()
+    grid.add_user("bob")
+    s1 = grid.new_session(tiny_session_config(vm_name="ana-vm"))
+    s2 = grid.new_session(tiny_session_config(user="bob",
+                                              vm_name="bob-vm"))
+    grid.run(s1.establish())
+    grid.run(s2.establish())
+    meter = UsageMeter(s1.vmm.machine.cpu, "compute1",
+                       rate_per_cpu_hour=3600.0)
+    meter.open_account(s1.vm.group, "ana-vm", "ana")
+    meter.open_account(s2.vm.group, "bob-vm", "bob")
+    j1 = grid.sim.spawn(s1.run_application(synthetic_compute(20.0)))
+    j2 = grid.sim.spawn(s2.run_application(synthetic_compute(10.0)))
+    grid.sim.run()
+    assert not j1.is_alive and not j2.is_alive
+    r1 = meter.close_account(s1.vm.group)
+    r2 = meter.close_account(s2.vm.group)
+    assert r1.cpu_seconds == pytest.approx(20.0, rel=0.05)
+    assert r2.cpu_seconds == pytest.approx(10.0, rel=0.05)
+    assert meter.invoice("ana") > meter.invoice("bob")
+
+
+def test_hibernate_archive_revive_then_migrate():
+    """The full life cycle: run, hibernate, go to tape, come back,
+    migrate to another site, finish."""
+    grid = demo_grid()
+    grid.add_compute_host("compute2", site="nw")
+    session = grid.new_session(tiny_session_config(
+        host_constraints={"host": "compute1"}))
+    grid.run(session.establish())
+    job = grid.sim.spawn(session.run_application(synthetic_compute(40.0)))
+    grid.sim.run(until=grid.sim.now + 10.0)
+
+    grid.run(session.hibernate())
+    tape = TapeArchive(grid.sim, mount_time=5.0)
+    grid.run(session.archive_to(tape))
+    # A week passes (simulated); the user comes back.
+    grid.sim.run(until=grid.sim.now + 1000.0)
+    grid.run(session.revive_from(tape))
+    assert session.vm.state is VmState.RUNNING
+
+    grid.run(session.migrate_to("compute2"))
+    assert session.vm.vmm.machine.name == "compute2"
+    grid.sim.run_until_complete(job)
+    result = session.guest_os.results[-1]
+    assert result.user_time > 40.0 * 0.99
+    assert "/home/ana" in session.guest_os.mounts
+
+
+def test_info_service_tracks_vm_through_migration():
+    grid = demo_grid()
+    grid.add_compute_host("compute2", site="nw")
+    session = grid.new_session(tiny_session_config(
+        host_constraints={"host": "compute1"}))
+    grid.run(session.establish())
+    record = grid.info.select("vms", name=session.vm.name)[0]
+    assert record["host"] == "compute1"
+    grid.run(session.migrate_to("compute2"))
+    record = grid.info.select("vms", name=session.vm.name)[0]
+    assert record["host"] == "compute2"
+    assert record["site"] == "nw"
+
+
+def test_dhcp_pool_exhaustion_bounds_site_vms():
+    """The site's address pool is a real capacity limit for scenario-1
+    networking."""
+    grid = demo_grid()
+    # Shrink the uf pool to 1 address.
+    from repro.gridnet import DhcpServer
+    grid._sites["uf"] = DhcpServer(grid.sim, subnet="10.9.0", pool_size=1)
+    s1 = grid.new_session(tiny_session_config(vm_name="vm-a"))
+    grid.run(s1.establish())
+    s2 = grid.new_session(tiny_session_config(vm_name="vm-b"))
+    from repro.gridnet import NoAddressAvailable
+    with pytest.raises(NoAddressAvailable):
+        grid.run(s2.establish())
+    # Releasing the first VM's lease frees the address for a retry.
+    grid.run(s1.shutdown())
+    s3 = grid.new_session(tiny_session_config(vm_name="vm-c"))
+    grid.run(s3.establish())
+    assert s3.vm.address.startswith("10.9.0.")

@@ -1,0 +1,143 @@
+"""Tests for usage metering and the bandwidth sensor."""
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.middleware import UsageMeter
+from repro.prediction import BandwidthSensor
+from repro.simulation import Simulation, SimulationError
+from repro.workloads import synthetic_compute
+from tests.support import demo_grid, tiny_session_config
+
+
+# ---------------------------------------------------------------------------
+# UsageMeter
+# ---------------------------------------------------------------------------
+
+def test_meter_charges_exact_group_consumption():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm")
+    meter = UsageMeter(cpu, "host1", rate_per_cpu_hour=3600.0)  # $1/s
+    meter.open_account(vm, "vm1", "ana")
+    cpu.submit(CpuTask("g", work=5.0, group=vm))
+    cpu.submit(CpuTask("other", work=100.0))  # competes 50/50
+    sim.run(until=20.0)
+    record = meter.close_account(vm)
+    assert record.cpu_seconds == pytest.approx(5.0, rel=0.01)
+    assert record.wall_seconds == pytest.approx(20.0)
+    assert record.mean_share == pytest.approx(0.25, rel=0.02)
+    assert meter.invoice("ana") == pytest.approx(5.0, rel=0.01)
+
+
+def test_meter_only_charges_own_window():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm")
+    meter = UsageMeter(cpu, "host1")
+    # Work before the account opens is not billed.
+    cpu.submit(CpuTask("early", work=4.0, group=vm))
+    sim.run()
+    meter.open_account(vm, "vm1", "ana")
+    cpu.submit(CpuTask("billed", work=2.0, group=vm))
+    sim.run()
+    record = meter.close_account(vm)
+    assert record.cpu_seconds == pytest.approx(2.0, rel=0.01)
+
+
+def test_meter_double_open_and_unopened_close():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim)
+    vm = TaskGroup("vm")
+    meter = UsageMeter(cpu, "h")
+    meter.open_account(vm, "vm1", "ana")
+    with pytest.raises(SimulationError):
+        meter.open_account(vm, "vm1", "ana")
+    meter.close_account(vm)
+    with pytest.raises(SimulationError):
+        meter.close_account(vm)
+
+
+def test_meter_integrates_with_sessions():
+    """Metering a full grid session: a CPU-server provider's view."""
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    cpu = session.vmm.machine.cpu
+    meter = UsageMeter(cpu, "compute1", rate_per_cpu_hour=0.10)
+    meter.open_account(session.vm.group, session.vm.name, "ana")
+    grid.run(session.run_application(synthetic_compute(36.0)))
+    record = meter.close_account(session.vm.group)
+    # ~36 s of guest CPU plus virtualization overheads.
+    assert 36.0 < record.cpu_seconds < 40.0
+    assert meter.invoice("ana") == pytest.approx(
+        record.cpu_seconds / 3600.0 * 0.10)
+
+
+def test_group_consumption_survives_migration():
+    """The group counter follows the VM across hosts (one bill)."""
+    from repro.gridnet import FlowEngine as FE
+    from repro.storage import FileStager
+    from repro.vmm import migrate
+    from tests.support import physical_rig, run as run_gen, vm_rig, GB
+    from repro.vmm import DiskImage
+
+    sim = Simulation()
+    net = Network.single_lan(sim, ["src", "dst"])
+    engine = FE(sim, net)
+    _m1, host1 = physical_rig(sim, name="src")
+    _m2, host2 = physical_rig(sim, name="dst")
+    from repro.vmm import VirtualMachineMonitor, VmConfig
+    from tests.support import TINY_GUEST
+    vmm1 = VirtualMachineMonitor(host1)
+    vmm2 = VirtualMachineMonitor(host2)
+    image1 = DiskImage(host1.root_fs, "img", 1 * GB, create=True)
+    image2 = DiskImage(host2.root_fs, "img", 1 * GB, create=True)
+    vm = vmm1.create_vm(VmConfig("vm1", guest_profile=TINY_GUEST), image1)
+    run_gen(sim, vmm1.power_on(vm, mode="boot"))
+    baseline = vm.group.cpu_consumed
+
+    proc = sim.spawn(vm.guest_os.run_application(synthetic_compute(20.0)))
+    sim.run(until=sim.now + 5.0)
+    stager = FileStager(sim, engine, handshake_time=0.0)
+    run_gen(sim, migrate(vm, vmm2, stager, image2))
+    sim.run_until_complete(proc)
+    vmm2.machine.cpu.sync()
+    consumed = vm.group.cpu_consumed - baseline
+    assert consumed == pytest.approx(20.0, rel=0.05)
+
+
+# ---------------------------------------------------------------------------
+# BandwidthSensor
+# ---------------------------------------------------------------------------
+
+def test_bandwidth_sensor_tracks_spare_capacity():
+    sim = Simulation()
+    net = Network.two_site_wan(sim, "a", ["src"], "b", ["dst"],
+                               wan_bandwidth=2e6)
+    engine = FlowEngine(sim, net)
+    sensor = BandwidthSensor(engine, "src", "dst", period=1.0)
+    sensor.start()
+    sim.run(until=3.0)
+    assert sensor.series[-1] == pytest.approx(2e6)
+    engine.start_flow("src", "dst", 10e6)   # saturates the WAN for ~5s
+    sim.run(until=5.0)
+    assert sensor.series[-1] == pytest.approx(0.0, abs=1e3)
+    sim.run(until=12.0)                     # flow long drained
+    sensor.stop()
+    assert sensor.series[-1] == pytest.approx(2e6)
+
+
+def test_bandwidth_sensor_validates_path_and_lifecycle():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["a", "b"])
+    engine = FlowEngine(sim, net)
+    net.add_host("island")
+    with pytest.raises(SimulationError):
+        BandwidthSensor(engine, "a", "island")
+    sensor = BandwidthSensor(engine, "a", "b")
+    sensor.start()
+    with pytest.raises(SimulationError):
+        sensor.start()
+    sensor.stop()

@@ -1,0 +1,193 @@
+"""Unit tests for logical accounts and the information service."""
+
+import pytest
+
+from repro.middleware import InformationService, LogicalUser, VmFuture
+from repro.middleware.accounts import AccountRegistry, AuthorizationError
+from repro.simulation import Simulation, SimulationError
+from tests.support import run
+
+
+# ---------------------------------------------------------------------------
+# AccountRegistry
+# ---------------------------------------------------------------------------
+
+def test_register_and_lookup():
+    reg = AccountRegistry()
+    user = reg.create_user("renato", home_site="uf")
+    assert reg.lookup("renato") is user
+    with pytest.raises(SimulationError):
+        reg.lookup("nobody")
+
+
+def test_duplicate_user_rejected():
+    reg = AccountRegistry()
+    reg.create_user("a")
+    with pytest.raises(SimulationError):
+        reg.register(LogicalUser("a"))
+
+
+def test_grant_and_require():
+    reg = AccountRegistry()
+    reg.create_user("u")
+    reg.grant("u", "uf", "instantiate", "store")
+    assert reg.authorized("u", "uf", "instantiate")
+    assert not reg.authorized("u", "nw", "instantiate")
+    reg.require("u", "uf", "store")
+    with pytest.raises(AuthorizationError):
+        reg.require("u", "nw", "store")
+
+
+def test_unknown_right_rejected():
+    reg = AccountRegistry()
+    reg.create_user("u")
+    with pytest.raises(SimulationError):
+        reg.grant("u", "uf", "sudo")
+
+
+def test_revoke():
+    reg = AccountRegistry()
+    reg.create_user("u")
+    reg.grant("u", "uf", "query")
+    reg.revoke("u", "uf", "query")
+    assert not reg.authorized("u", "uf", "query")
+
+
+def test_vm_binding_lifecycle():
+    reg = AccountRegistry()
+    reg.create_user("u")
+    reg.bind_vm("u", "vm1")
+    assert reg.lookup("u").vms == ["vm1"]
+    reg.release_vm("u", "vm1")
+    assert reg.lookup("u").vms == []
+
+
+def test_users_at_site():
+    reg = AccountRegistry()
+    reg.create_user("a")
+    reg.create_user("b")
+    reg.grant("a", "uf", "query")
+    assert reg.users_at("uf") == ["a"]
+
+
+# ---------------------------------------------------------------------------
+# InformationService
+# ---------------------------------------------------------------------------
+
+def test_register_select():
+    sim = Simulation()
+    info = InformationService(sim)
+    info.register("machines", {"name": "m1", "memory_mb": 512})
+    info.register("machines", {"name": "m2", "memory_mb": 2048})
+    assert info.table_size("machines") == 2
+    big = info.select("machines", memory_mb__ge=1024)
+    assert [r["name"] for r in big] == ["m2"]
+
+
+def test_unknown_table_rejected():
+    sim = Simulation()
+    info = InformationService(sim)
+    with pytest.raises(SimulationError):
+        info.register("nonsense", {})
+    with pytest.raises(SimulationError):
+        info.select("nonsense")
+
+
+def test_operator_suite():
+    sim = Simulation()
+    info = InformationService(sim)
+    info.register("vms", {"name": "v", "state": "running", "memory_mb": 128,
+                          "tags": ["seismic"]})
+    assert info.select("vms", state__ne="terminated")
+    assert info.select("vms", memory_mb__gt=64)
+    assert info.select("vms", memory_mb__le=128)
+    assert info.select("vms", memory_mb__lt=129)
+    assert info.select("vms", tags__contains="seismic")
+    assert not info.select("vms", memory_mb__gt=128)
+    with pytest.raises(SimulationError):
+        info.select("vms", memory_mb__between=(1, 2))
+
+
+def test_query_costs_time_and_filters():
+    sim = Simulation()
+    info = InformationService(sim, query_latency=0.2)
+    for i in range(10):
+        info.register("machines", {"name": "m%d" % i, "memory_mb": 256 * i})
+
+    def searcher(sim):
+        results = yield from info.query("machines", memory_mb__ge=1024)
+        return results
+
+    results = run(sim, searcher(sim))
+    assert sim.now > 0
+    assert all(r["memory_mb"] >= 1024 for r in results)
+    assert len(results) == 6
+
+
+def test_query_limit_returns_partial():
+    sim = Simulation()
+    info = InformationService(sim)
+    for i in range(20):
+        info.register("machines", {"name": "m%d" % i})
+
+    def searcher(sim):
+        results = yield from info.query("machines", limit=3)
+        return results
+
+    assert len(run(sim, searcher(sim))) == 3
+
+
+def test_query_time_bound_limits_scan():
+    sim = Simulation()
+    info = InformationService(sim, query_latency=1.0)
+    for i in range(100):
+        info.register("machines", {"name": "m%d" % i})
+
+    def searcher(sim):
+        results = yield from info.query("machines", time_bound=0.1)
+        return results
+
+    results = run(sim, searcher(sim))
+    assert sim.now <= 0.11
+    assert 0 < len(results) < 100  # partial results
+
+
+def test_unregister():
+    sim = Simulation()
+    info = InformationService(sim)
+    info.register("vms", {"name": "v1", "state": "running"})
+    info.register("vms", {"name": "v2", "state": "running"})
+    assert info.unregister("vms", name="v1") == 1
+    assert info.table_size("vms") == 1
+
+
+def test_join():
+    sim = Simulation()
+    info = InformationService(sim)
+    info.register("vm_futures", {"host": "h1", "site": "uf", "count": 2,
+                                 "max_memory_mb": 512})
+    info.register("images", {"image": "rh72", "server": "i1",
+                             "site": "uf"})
+    info.register("images", {"image": "rh72", "server": "i2",
+                             "site": "nw"})
+
+    def searcher(sim):
+        pairs = yield from info.join(
+            "vm_futures", "images",
+            on=lambda f, i: f["site"] == i["site"],
+            constraints_b={"image": "rh72"})
+        return pairs
+
+    pairs = run(sim, searcher(sim))
+    assert len(pairs) == 1
+    assert pairs[0][1]["server"] == "i1"
+
+
+def test_vm_future_record():
+    future = VmFuture("h1", "uf", 3, 512, scheduling="periodic")
+    record = future.describe()
+    assert record["host"] == "h1"
+    assert record["count"] == 3
+    assert record["scheduling"] == "periodic"
+    with pytest.raises(SimulationError):
+        VmFuture("h1", "uf", -1, 512)

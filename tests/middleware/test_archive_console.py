@@ -1,0 +1,166 @@
+"""Tests for tape archival and the interactive console."""
+
+import pytest
+
+from repro.hardware import Disk
+from repro.middleware import TapeArchive, VncConsole
+from repro.simulation import Simulation, SimulationError
+from repro.storage import LocalFileSystem
+from repro.workloads import synthetic_compute
+from tests.support import MB, demo_grid, run, tiny_session_config
+
+
+# ---------------------------------------------------------------------------
+# TapeArchive
+# ---------------------------------------------------------------------------
+
+def tape_rig(sim):
+    fs = LocalFileSystem(sim, Disk(sim, seek_time=0.0,
+                                   transfer_rate=40e6),
+                         cache_bytes=0)
+    tape = TapeArchive(sim, mount_time=10.0, transfer_rate=10e6)
+    return fs, tape
+
+
+def test_archive_and_retrieve_roundtrip():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    fs.create("vm1.diff", 20 * MB)
+    fs.create("vm1.memstate", 128 * MB)
+
+    def archiver(sim):
+        volume = yield from tape.archive("vm1", fs,
+                                         ["vm1.diff", "vm1.memstate"])
+        return volume
+
+    volume = run(sim, archiver(sim))
+    assert volume.total_bytes == 148 * MB
+    # Online space reclaimed.
+    assert not fs.exists("vm1.diff")
+    assert tape.volumes == ["vm1"]
+
+    def retriever(sim):
+        yield from tape.retrieve("vm1", fs)
+
+    run(sim, retriever(sim))
+    assert fs.exists("vm1.diff")
+    assert fs.size("vm1.memstate") == 128 * MB
+    assert tape.lookup("vm1").retrieved_count == 1
+
+
+def test_archive_pays_mount_and_stream_time():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    fs.create("state", 100 * MB)
+
+    def archiver(sim):
+        yield from tape.archive("v", fs, ["state"])
+        return sim.now
+
+    elapsed = run(sim, archiver(sim))
+    # Mount (10s) + tape streaming (10.5s) + disk read.
+    assert elapsed >= 10.0 + 100 * MB / 10e6
+
+
+def test_archive_missing_file_rejected():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    with pytest.raises(SimulationError):
+        run(sim, tape.archive("v", fs, ["ghost"]))
+
+
+def test_archive_duplicate_volume_rejected():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    fs.create("a", 1 * MB)
+    fs.create("b", 1 * MB)
+    run(sim, tape.archive("v", fs, ["a"]))
+    with pytest.raises(SimulationError):
+        run(sim, tape.archive("v", fs, ["b"]))
+
+
+def test_remove_ends_lifecycle():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    fs.create("a", 1 * MB)
+    run(sim, tape.archive("v", fs, ["a"]))
+    tape.remove("v")
+    assert tape.volumes == []
+    with pytest.raises(SimulationError):
+        tape.remove("v")
+
+
+def test_drive_serializes_volumes():
+    sim = Simulation()
+    fs, tape = tape_rig(sim)
+    fs.create("a", 10 * MB)
+    fs.create("b", 10 * MB)
+    done = []
+
+    def archiver(sim, name):
+        yield from tape.archive(name, fs, [name[-1]])
+        done.append((name, sim.now))
+
+    sim.spawn(archiver(sim, "vol-a"))
+    sim.spawn(archiver(sim, "vol-b"))
+    sim.run()
+    # Second archive waits for the single drive (two mounts serialized).
+    assert done[1][1] - done[0][1] >= 10.0
+
+
+# ---------------------------------------------------------------------------
+# VncConsole
+# ---------------------------------------------------------------------------
+
+def console_session():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    return grid, session
+
+
+def test_console_round_trip_measured():
+    grid, session = console_session()
+    console = VncConsole(grid, session.vm, grid.home_gateway_of("ana"))
+
+    def typist(sim):
+        rtts = yield from console.typing_burst(count=10, think_time=0.1)
+        return rtts
+
+    rtts = grid.run(typist(grid.sim))
+    assert len(rtts) == 10
+    assert console.latency.count == 10
+    # WAN RTT + echo CPU + update transfer: tens of ms, interactive.
+    assert console.responsive(threshold=0.2)
+    assert all(rtt > 0.02 for rtt in rtts)  # at least the WAN latency
+
+
+def test_console_degrades_under_vm_contention():
+    grid, session = console_session()
+    # Measure from a LAN client so compute, not WAN latency, dominates.
+    grid.add_compute_host("desk", site="uf")
+    console = VncConsole(grid, session.vm, "desk")
+
+    def measure(sim):
+        rtts = yield from console.typing_burst(count=5, think_time=0.05)
+        return sum(rtts) / len(rtts)
+
+    idle_rtt = grid.run(measure(grid.sim))
+    # Saturate the guest with background work, then measure again.
+    grid.sim.spawn(session.guest_os.run_application(
+        synthetic_compute(500.0)))
+    busy_rtt = grid.run(measure(grid.sim))
+    assert busy_rtt > 1.5 * idle_rtt
+
+
+def test_console_requires_known_client():
+    grid, session = console_session()
+    with pytest.raises(SimulationError):
+        VncConsole(grid, session.vm, "not-a-host")
+
+
+def test_console_responsive_requires_samples():
+    grid, session = console_session()
+    console = VncConsole(grid, session.vm, grid.home_gateway_of("ana"))
+    with pytest.raises(SimulationError):
+        console.responsive()

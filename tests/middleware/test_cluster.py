@@ -1,0 +1,128 @@
+"""Tests for virtual clusters and overlay communication among VMs."""
+
+import pytest
+
+from repro.middleware import VirtualCluster
+from repro.simulation import SimulationError
+from repro.vmm import VmState
+from tests.support import GB, TINY_GUEST, demo_grid
+
+
+def cluster_grid(hosts=3):
+    grid = demo_grid()
+    for i in range(2, hosts + 1):
+        grid.add_compute_host("compute%d" % i,
+                              site="uf" if i % 2 == 0 else "nw")
+    return grid
+
+
+def make_cluster(grid, size=3):
+    return VirtualCluster(grid, "ana", "rh72", size,
+                          session_overrides={"guest_profile": TINY_GUEST})
+
+
+def test_cluster_requires_two_members():
+    grid = cluster_grid()
+    with pytest.raises(SimulationError):
+        VirtualCluster(grid, "ana", "rh72", 1)
+
+
+def test_cluster_deploys_on_distinct_hosts():
+    grid = cluster_grid(hosts=3)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    hosts = {cluster.host_of(i) for i in range(3)}
+    assert len(hosts) == 3                       # spread out
+    assert sorted(cluster.members) == ["ana-node0", "ana-node1",
+                                       "ana-node2"]
+    assert sorted(cluster.overlay.members) == sorted(hosts)
+
+
+def test_cluster_doubles_up_when_hosts_run_out():
+    grid = cluster_grid(hosts=2)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    hosts = [cluster.host_of(i) for i in range(3)]
+    assert len(set(hosts)) == 2                  # one host reused
+
+
+def test_cluster_double_deploy_rejected():
+    grid = cluster_grid()
+    cluster = make_cluster(grid, size=2)
+    grid.run(cluster.deploy())
+    with pytest.raises(SimulationError):
+        grid.run(cluster.deploy())
+
+
+def test_transfer_follows_overlay_route():
+    grid = cluster_grid(hosts=3)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    seconds, path = grid.run(cluster.transfer(0, 1, 1024 * 1024))
+    assert seconds > 0
+    assert path[0] == cluster.host_of(0)
+    assert path[-1] == cluster.host_of(1)
+
+
+def test_transfer_same_host_is_free():
+    grid = cluster_grid(hosts=2)
+    cluster = make_cluster(grid, size=3)   # one host doubled up
+    grid.run(cluster.deploy())
+    hosts = [cluster.host_of(i) for i in range(3)]
+    # Find the doubled pair.
+    pair = None
+    for i in range(3):
+        for j in range(3):
+            if i != j and hosts[i] == hosts[j]:
+                pair = (i, j)
+    assert pair is not None
+    seconds, path = grid.run(cluster.transfer(pair[0], pair[1], 1e6))
+    assert seconds == 0.0
+    assert len(path) == 1
+
+
+def test_transfer_relays_around_penalty():
+    grid = cluster_grid(hosts=3)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    a, b = cluster.host_of(0), cluster.host_of(1)
+    # Policy routing ruins the direct a-b path; re-measure.
+    cluster.overlay.set_underlay_penalty(a, b, 0.5)
+    grid.run(cluster.overlay.measure())
+    _seconds, path = grid.run(cluster.transfer(0, 1, 1024))
+    assert len(path) == 3                        # relayed via the third
+
+
+def test_exchange_completes_and_times_slowest():
+    grid = cluster_grid(hosts=3)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    elapsed = grid.run(cluster.exchange(512 * 1024))
+    assert elapsed > 0
+    # At least the WAN serialization of one 512 KB payload at 2.5 MB/s,
+    # and everything ran concurrently (nowhere near 6x that).
+    single = 512 * 1024 / 2.5e6
+    assert elapsed >= single * 0.9
+    assert elapsed < 6 * single + 1.0
+
+
+def test_latency_matrix_symmetric_pairs():
+    grid = cluster_grid(hosts=3)
+    cluster = make_cluster(grid, size=3)
+    grid.run(cluster.deploy())
+    matrix = cluster.latency_matrix()
+    hosts = sorted(set(cluster.overlay.members))
+    assert len(matrix) == len(hosts) * (len(hosts) - 1)
+    for (a, b), latency in matrix.items():
+        assert latency == pytest.approx(matrix[(b, a)])
+
+
+def test_teardown_terminates_members():
+    grid = cluster_grid()
+    cluster = make_cluster(grid, size=2)
+    grid.run(cluster.deploy())
+    vms = [s.vm for s in cluster.sessions]
+    grid.run(cluster.teardown())
+    assert all(vm.state is VmState.TERMINATED for vm in vms)
+    with pytest.raises(SimulationError):
+        grid.run(cluster.transfer(0, 1, 10))

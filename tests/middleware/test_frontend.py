@@ -1,0 +1,108 @@
+"""Tests for the Figure 3 front-end / service-provider scenario."""
+
+import pytest
+
+from repro.middleware import MiddlewareFrontend, ServiceProvider
+from repro.simulation import SimulationError
+from repro.vmm import VmState
+from repro.workloads import synthetic_compute
+from tests.support import TINY_GUEST, demo_grid
+
+
+def provider_grid():
+    grid = demo_grid()
+    grid.add_user("provider-s")          # the provider's grid identity
+    return grid
+
+
+def test_frontend_dedicated_vm_path():
+    grid = demo_grid()
+    frontend = MiddlewareFrontend(grid)
+    session = grid.run(frontend.create_dedicated_vm(
+        "ana", "rh72", guest_profile=TINY_GUEST))
+    assert session.established
+    assert session.vm.owner == "ana"
+    assert frontend.dedicated_sessions == [session]
+
+
+def test_provider_deploys_backend_pool():
+    grid = provider_grid()
+    frontend = MiddlewareFrontend(grid)
+    provider = frontend.create_provider("provider-s", "rh72", backends=2,
+                                        guest_profile=TINY_GUEST)
+    count = grid.run(provider.deploy())
+    assert count == 2
+    names = sorted(s.vm.name for s in provider.sessions)
+    assert names == ["provider-s-V1", "provider-s-V2"]
+    # Back-end VMs belong to the provider's logical identity.
+    assert all(s.vm.owner == "provider-s" for s in provider.sessions)
+
+
+def test_provider_requires_registration():
+    grid = provider_grid()
+    provider = ServiceProvider(grid, "provider-s", "rh72", backends=1,
+                               session_template={
+                                   "guest_profile": TINY_GUEST})
+    grid.run(provider.deploy())
+    with pytest.raises(SimulationError):
+        grid.run(provider.submit("randomer", synthetic_compute(1.0)))
+
+
+def test_provider_submit_before_deploy_rejected():
+    grid = provider_grid()
+    provider = ServiceProvider(grid, "provider-s", "rh72")
+    provider.register_user("a")
+    with pytest.raises(SimulationError):
+        grid.run(provider.submit("a", synthetic_compute(1.0)))
+
+
+def test_provider_multiplexes_users_over_backends():
+    """Users A, B, C share two virtual back-ends (Figure 3's S)."""
+    grid = provider_grid()
+    provider = ServiceProvider(grid, "provider-s", "rh72", backends=2,
+                               session_template={
+                                   "guest_profile": TINY_GUEST})
+    for user in ("userA", "userB", "userC"):
+        provider.register_user(user)
+    grid.run(provider.deploy())
+
+    procs = [grid.sim.spawn(provider.submit(user, synthetic_compute(10.0)))
+             for user in ("userA", "userB", "userC")]
+    grid.sim.run()
+    assert all(not p.is_alive for p in procs)
+    assert len(provider.outcomes) == 3
+    # Two ran immediately; the third queued for a free back-end.
+    delays = sorted(o.queue_delay for o in provider.outcomes)
+    assert delays[0] == pytest.approx(0.0, abs=1e-6)
+    assert delays[1] == pytest.approx(0.0, abs=1e-6)
+    assert delays[2] > 5.0
+    # Both back-ends were used.
+    assert len({o.backend for o in provider.outcomes}) == 2
+    busy = provider.utilization_summary()
+    assert sum(busy.values()) > 30.0 * 0.99
+
+
+def test_provider_teardown():
+    grid = provider_grid()
+    provider = ServiceProvider(grid, "provider-s", "rh72", backends=1,
+                               session_template={
+                                   "guest_profile": TINY_GUEST})
+    grid.run(provider.deploy())
+    vm = provider.sessions[0].vm
+    grid.run(provider.teardown())
+    assert vm.state is VmState.TERMINATED
+    assert provider.sessions == []
+
+
+def test_provider_validation():
+    grid = provider_grid()
+    with pytest.raises(SimulationError):
+        ServiceProvider(grid, "p", "rh72", backends=0)
+    provider = ServiceProvider(grid, "p", "rh72")
+    provider.register_user("a")
+    with pytest.raises(SimulationError):
+        provider.register_user("a")
+    frontend = MiddlewareFrontend(grid)
+    frontend.create_provider("q", "rh72")
+    with pytest.raises(SimulationError):
+        frontend.create_provider("q", "rh72")

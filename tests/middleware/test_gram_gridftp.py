@@ -1,0 +1,89 @@
+"""Unit tests for GRAM dispatch and GridFTP transfers."""
+
+import random
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.hardware import Disk
+from repro.middleware import GramGateway, GridFtpService
+from repro.simulation import Simulation
+from repro.storage import FileStager, LocalFileSystem
+from tests.support import run
+
+
+def test_gram_wraps_job_with_overheads():
+    sim = Simulation()
+    gram = GramGateway(sim, "compute1", auth_time=2.0, jobmanager_start=1.0,
+                       poll_interval=2.0, rng=random.Random(3))
+
+    def body(sim):
+        yield sim.timeout(10.0)
+        return "payload"
+
+    def submitter(sim):
+        job = yield from gram.submit(body(sim), name="test")
+        return job
+
+    job = run(sim, submitter(sim))
+    assert job.result == "payload"
+    assert job.total_time > 10.0
+    # Overheads: auth (within 15% jitter of 2.0) + jobmanager + poll.
+    assert 2.7 < job.middleware_overhead < 6.0
+    assert gram.jobs_dispatched == 1
+
+
+def test_gram_zero_poll_is_deterministic():
+    sim = Simulation()
+    gram = GramGateway(sim, "c", auth_time=1.0, jobmanager_start=0.5,
+                       poll_interval=0.0, rng=random.Random(0))
+    gram.rng.uniform = lambda a, b: 0.0  # remove auth jitter
+
+    def body(sim):
+        yield sim.timeout(2.0)
+
+    def submitter(sim):
+        job = yield from gram.submit(body(sim))
+        return job
+
+    job = run(sim, submitter(sim))
+    assert job.total_time == pytest.approx(3.5)
+
+
+def test_gram_overhead_varies_between_runs():
+    totals = set()
+    for seed in range(5):
+        sim = Simulation()
+        gram = GramGateway(sim, "c", rng=random.Random(seed))
+
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        def submitter(sim):
+            job = yield from gram.submit(body(sim))
+            return job
+
+        totals.add(round(run(sim, submitter(sim)).total_time, 6))
+    assert len(totals) > 1  # poll alignment varies
+
+
+def test_gridftp_transfers_and_logs():
+    sim = Simulation()
+    net = Network.two_site_wan(sim, "a", ["src"], "b", ["dst"])
+    engine = FlowEngine(sim, net)
+    src_fs = LocalFileSystem(sim, Disk(sim), cache_bytes=0)
+    dst_fs = LocalFileSystem(sim, Disk(sim), cache_bytes=0)
+    src_fs.create("image", 4 * 1024 * 1024)
+    service = GridFtpService(sim, FileStager(sim, engine), auth_time=1.0)
+
+    def mover(sim):
+        moved = yield from service.transfer(src_fs, "src", "image",
+                                            dst_fs, "dst")
+        return moved
+
+    moved = run(sim, mover(sim))
+    assert moved >= 4 * 1024 * 1024
+    assert dst_fs.exists("image")
+    assert service.bytes_moved == moved
+    assert len(service.log) == 1
+    assert sim.now > 1.0  # at least the auth time passed

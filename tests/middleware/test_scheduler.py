@@ -1,0 +1,98 @@
+"""Tests for the prediction-driven metascheduler."""
+
+import pytest
+
+from repro.middleware import MetaScheduler
+from repro.simulation import SimulationError
+from repro.workloads import HostLoadTrace, LoadPlayback, synthetic_compute
+from tests.support import TINY_GUEST, booted_host_os, demo_grid
+
+
+def scheduler_grid(busy_host_load=1.5):
+    """Two compute hosts; compute2 carries a steady background load."""
+    grid = demo_grid()
+    grid.add_compute_host("compute2", site="uf")
+    # Background load on compute2's host OS.
+    host = grid.host_for("compute2")
+    os = booted_host_os(grid.sim, host)
+    trace = HostLoadTrace([busy_host_load] * 5000, interval=1.0)
+    grid.sim.spawn(LoadPlayback(os, trace).run(5000.0))
+    return grid
+
+
+def make_scheduler(grid, policy="predictive"):
+    scheduler = MetaScheduler(grid, "rh72", policy=policy,
+                              session_overrides={
+                                  "user": "ana",
+                                  "guest_profile": TINY_GUEST})
+    scheduler.watch("compute1")
+    scheduler.watch("compute2")
+    return scheduler
+
+
+def test_policy_validation():
+    grid = demo_grid()
+    with pytest.raises(SimulationError):
+        MetaScheduler(grid, "rh72", policy="clairvoyant")
+
+
+def test_watch_rejects_duplicates_and_unknown():
+    grid = demo_grid()
+    scheduler = MetaScheduler(grid, "rh72")
+    scheduler.watch("compute1")
+    with pytest.raises(SimulationError):
+        scheduler.watch("compute1")
+    with pytest.raises(SimulationError):
+        scheduler.watch("ghost")
+
+
+def test_predictive_scheduler_avoids_busy_host():
+    grid = scheduler_grid(busy_host_load=2.5)
+    scheduler = make_scheduler(grid)
+    grid.sim.run(until=60.0)   # let the sensors observe
+
+    decision = grid.run(scheduler.submit(synthetic_compute(20.0)))
+    assert decision.host == "compute1"
+    assert decision.predictions["compute2"] \
+        > decision.predictions["compute1"]
+    assert decision.actual_wall is not None
+
+
+def test_prediction_tracks_actual():
+    grid = scheduler_grid(busy_host_load=1.0)
+    scheduler = make_scheduler(grid)
+    grid.sim.run(until=60.0)
+    grid.run(scheduler.submit(synthetic_compute(20.0)))
+    # Within 30%: the forecast was made before the VM's own dilation
+    # and startup, so exact agreement is not expected.
+    assert scheduler.mean_absolute_prediction_error() < 0.3
+
+
+def test_random_policy_records_no_predictions():
+    grid = scheduler_grid()
+    scheduler = make_scheduler(grid, policy="random")
+    grid.sim.run(until=30.0)
+    decision = grid.run(scheduler.submit(synthetic_compute(5.0)))
+    assert decision.predictions == {}
+    assert decision.predicted_wall is None
+    with pytest.raises(SimulationError):
+        scheduler.mean_absolute_prediction_error()
+
+
+def test_submit_requires_capable_watched_host():
+    grid = demo_grid()
+    scheduler = MetaScheduler(grid, "rh72")
+    # Nothing watched yet.
+    with pytest.raises(SimulationError):
+        grid.run(scheduler.submit(synthetic_compute(1.0)))
+
+
+def test_jobs_get_sequential_names_and_cleanup():
+    grid = scheduler_grid()
+    scheduler = make_scheduler(grid)
+    grid.sim.run(until=30.0)
+    d1 = grid.run(scheduler.submit(synthetic_compute(2.0)))
+    d2 = grid.run(scheduler.submit(synthetic_compute(2.0)))
+    assert d1.job != d2.job
+    # Sessions were shut down: no VMs remain registered.
+    assert grid.info.select("vms") == []

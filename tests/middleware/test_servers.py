@@ -1,0 +1,103 @@
+"""Unit tests for the image and data server services."""
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.simulation import Simulation, SimulationError
+from repro.storage import PvfsProxy
+from tests.support import GB, MB, physical_rig, run
+
+
+def servers_rig(sim):
+    from repro.middleware import ImageServer, UserDataServer
+
+    net = Network.single_lan(sim, ["images", "data", "compute"])
+    engine = FlowEngine(sim, net)
+    _m1, image_host = physical_rig(sim, name="images")
+    _m2, data_host = physical_rig(sim, name="data")
+    image_server = ImageServer(image_host, engine)
+    data_server = UserDataServer(data_host, engine)
+    return engine, image_server, data_server
+
+
+def test_image_server_catalogue():
+    sim = Simulation()
+    _engine, images, _data = servers_rig(sim)
+    image = images.publish_image("rh72", 1 * GB, warm_state_mb=64,
+                                 description="Red Hat 7.2 base")
+    assert image.size_bytes == 1 * GB
+    record = images.record("rh72")
+    assert record["has_warm_state"] is True
+    assert record["description"] == "Red Hat 7.2 base"
+    assert record["server"] == "images"
+    assert len(images.records()) == 1
+    assert images.lookup("rh72") is image
+    # The warm state file exists and is the declared size.
+    assert images.fs.size(images.memstate_name("rh72")) == 64 * MB
+
+
+def test_image_server_duplicate_and_missing():
+    sim = Simulation()
+    _engine, images, _data = servers_rig(sim)
+    images.publish_image("rh72", 1 * GB)
+    with pytest.raises(SimulationError):
+        images.publish_image("rh72", 1 * GB)
+    with pytest.raises(SimulationError):
+        images.lookup("ghost")
+    with pytest.raises(SimulationError):
+        images.record("ghost")
+    # No warm state requested -> no memstate file.
+    assert not images.fs.exists(images.memstate_name("rh72"))
+
+
+def test_image_server_mount_serves_image_blocks():
+    sim = Simulation()
+    _engine, images, _data = servers_rig(sim)
+    images.publish_image("rh72", 64 * MB)
+    mount = images.mount_from("compute")
+    run(sim, mount.read("rh72", 0, 1 * MB))
+    assert images.nfs.rpc_count > 0
+
+
+def test_data_server_per_user_isolation():
+    sim = Simulation()
+    _engine, _images, data = servers_rig(sim)
+    data.store("ana", "input.dat", 1 * MB)
+    data.store("bob", "input.dat", 2 * MB)
+    assert data.files_of("ana") == ["input.dat"]
+    assert data.files_of("nobody") == []
+
+    ana_fs = data.mount_from("compute", "ana", with_proxy=False)
+    bob_fs = data.mount_from("compute", "bob", with_proxy=False)
+    assert ana_fs.size("input.dat") == 1 * MB
+    assert bob_fs.size("input.dat") == 2 * MB
+    assert ana_fs.listdir() == ["input.dat"]
+    # Ana cannot see Bob's other files.
+    data.store("bob", "secret.dat", 1 * MB)
+    assert "secret.dat" not in ana_fs.listdir()
+
+
+def test_data_server_proxy_mount_buffers_writes():
+    sim = Simulation()
+    _engine, _images, data = servers_rig(sim)
+    data.store("ana", "results.out", 0)
+    proxied = data.mount_from("compute", "ana", with_proxy=True)
+    assert isinstance(proxied, PvfsProxy)
+    run(sim, proxied.write("results.out", 0, 256 * 1024))
+    assert proxied.buffered_bytes == 256 * 1024
+
+
+def test_data_server_scoped_fs_operations():
+    sim = Simulation()
+    _engine, _images, data = servers_rig(sim)
+    data.store("ana", "a.txt", 1000)
+    fs = data.mount_from("compute", "ana", with_proxy=False)
+    assert fs.exists("a.txt")
+    fs.create("b.txt", 500)
+    assert "b.txt" in fs.listdir()
+    run(sim, fs.read("a.txt", 0, 1000))
+    run(sim, fs.write("b.txt", 0, 500))
+    fs.delete("b.txt")
+    assert not fs.exists("b.txt")
+    with pytest.raises(SimulationError):
+        data.store("ana", "bad", -1)

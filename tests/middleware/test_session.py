@@ -1,0 +1,188 @@
+"""End-to-end tests of the six-step grid session (Figure 3)."""
+
+import pytest
+
+from repro.middleware import SessionConfig
+from repro.middleware.accounts import AuthorizationError
+from repro.simulation import SimulationError
+from repro.vmm import VmState
+from repro.workloads import Application, IoPhase, synthetic_compute
+from tests.support import demo_grid, tiny_session_config
+
+
+def test_session_config_validation():
+    with pytest.raises(SimulationError):
+        SessionConfig(user="u", image="i", image_access="carrier-pigeon")
+    with pytest.raises(SimulationError):
+        SessionConfig(user="u", image="i", start_mode="warp")
+    with pytest.raises(SimulationError):
+        SessionConfig(user="u", image="i", networking="telepathy")
+    with pytest.raises(SimulationError):
+        # Persistent disks require the explicit local copy.
+        SessionConfig(user="u", image="i", disk_mode="persistent",
+                      image_access="pvfs")
+
+
+def test_full_session_lifecycle_restore_pvfs():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+
+    assert session.established
+    assert session.vm.state is VmState.RUNNING
+    assert session.vm.guest_os.booted
+    assert session.vm.address is not None          # DHCP-assigned
+    assert session.vm.owner == "ana"
+    # All five establishment steps recorded with durations.
+    assert [s.index for s in session.steps] == [1, 2, 3, 4, 5]
+    assert all(s.duration is not None for s in session.steps)
+    # The information service now lists the VM and a decremented future.
+    assert grid.info.select("vms", name=session.vm.name)
+    futures = grid.info.select("vm_futures", host="compute1")
+    assert futures[0]["count"] == 3
+    # The logical account tracks ownership.
+    assert session.vm.name in grid.accounts.lookup("ana").vms
+
+
+def test_session_runs_application():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    result = grid.run(session.run_application(synthetic_compute(5.0)))
+    assert result.user_time > 5.0          # dilated by the VMM
+    assert result.user_time < 5.0 * 1.1    # ... by less than 10%
+    assert session.steps[-1].index == 6
+
+
+def test_session_boot_mode_slower_than_restore():
+    """With a realistic boot footprint (>> memory state), restore wins."""
+    from repro.guestos import GuestOsProfile
+    profile = GuestOsProfile(scattered_reads=6000, boot_jitter=0.0)
+
+    def establish_time(start_mode):
+        grid = demo_grid()
+        session = grid.new_session(tiny_session_config(
+            start_mode=start_mode, guest_profile=profile))
+        grid.run(session.establish())
+        return grid.sim.now
+
+    assert establish_time("boot") > establish_time("restore")
+
+
+def test_session_local_copy_stages_whole_image():
+    grid = demo_grid(image_size=64 * 1024 * 1024)
+    session = grid.new_session(tiny_session_config(
+        image_access="local-copy", disk_mode="persistent"))
+    grid.run(session.establish())
+    # The private copy landed on the compute host's disk.
+    host_fs = grid.host_for("compute1").root_fs
+    assert host_fs.exists("rh72.private")
+    assert grid.gridftp.bytes_moved >= 64 * 1024 * 1024
+
+
+def test_session_tunnel_networking():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(networking="tunnel"))
+    grid.run(session.establish())
+    assert session.tunnel is not None
+    assert session.tunnel.established
+    assert session.vm.address.startswith("home-net/")
+    assert session.lease is None
+
+
+def test_session_user_data_mounted_in_guest():
+    grid = demo_grid()
+    grid.data_server.store("ana", "input.dat", 8 * 1024 * 1024)
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    assert "/home/ana" in session.guest_os.mounts
+    reader = Application("read-home",
+                         [IoPhase("/home/ana/input.dat", 4 * 1024 * 1024)])
+    # The file must be visible through the guest mount without
+    # provisioning (it lives on the data server).
+    fs, name = session.guest_os.resolve("/home/ana/input.dat")
+    assert fs.exists("input.dat") or fs.exists(name)
+
+
+def test_session_writeback_sync():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    writer = Application("write-home",
+                         [IoPhase("/home/ana/results.out",
+                                  2 * 1024 * 1024, write=True)])
+    grid.run(session.run_application(writer))
+    flushed = grid.run(session.sync_user_data())
+    assert flushed >= 2 * 1024 * 1024
+
+
+def test_session_shutdown_releases_everything():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    vm_name = session.vm.name
+    lease = session.lease
+    grid.run(session.shutdown())
+    assert session.vm.state is VmState.TERMINATED
+    assert not lease.active
+    assert not grid.info.select("vms", name=vm_name)
+    assert vm_name not in grid.accounts.lookup("ana").vms
+    assert not session.established
+
+
+def test_session_requires_authorization():
+    grid = demo_grid()
+    grid.accounts.create_user("mallory")  # no rights granted
+    session = grid.new_session(tiny_session_config(user="mallory"))
+    with pytest.raises(AuthorizationError):
+        grid.run(session.establish())
+
+
+def test_session_unknown_image():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(image="windows-me"))
+    with pytest.raises(SimulationError):
+        grid.run(session.establish())
+
+
+def test_session_no_capable_future():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(memory_mb=4096))
+    with pytest.raises(SimulationError):
+        grid.run(session.establish())
+
+
+def test_run_application_before_establish_rejected():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    with pytest.raises(SimulationError):
+        grid.run(session.run_application(synthetic_compute(1.0)))
+
+
+def test_two_users_multiplexed_on_one_host():
+    """Figure 2's scenario: users A and B share server V via two VMs."""
+    grid = demo_grid()
+    grid.add_user("bob")
+    s1 = grid.new_session(tiny_session_config(vm_name="ana-vm"))
+    s2 = grid.new_session(tiny_session_config(user="bob", vm_name="bob-vm"))
+    grid.run(s1.establish())
+    grid.run(s2.establish())
+    assert s1.vmm is s2.vmm                    # same physical host
+    assert s1.vm is not s2.vm                  # isolated VMs
+    assert s1.vm.address != s2.vm.address
+    # Both run work concurrently without sharing accounting.
+    p1 = grid.sim.spawn(s1.run_application(synthetic_compute(3.0)))
+    p2 = grid.sim.spawn(s2.run_application(synthetic_compute(3.0)))
+    grid.sim.run()
+    assert not p1.is_alive and not p2.is_alive
+    assert len(s1.guest_os.results) == 1
+    assert len(s2.guest_os.results) == 1
+
+
+def test_timeline_is_printable():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    lines = session.timeline()
+    assert len(lines) == 5
+    assert all("step" in line for line in lines)

@@ -1,0 +1,95 @@
+"""Session configuration modes not covered by the main session tests."""
+
+import pytest
+
+from repro.simulation import SimulationError
+from repro.vmm import VmState
+from repro.workloads import synthetic_compute
+from tests.support import demo_grid, tiny_session_config
+
+
+def test_plain_nfs_image_access():
+    """image_access='nfs': on-demand access without the proxy layer."""
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(image_access="nfs"))
+    grid.run(session.establish())
+    assert session.vm.state is VmState.RUNNING
+    # The base image is an NFS mount, not a PVFS proxy.
+    from repro.storage import NfsMount
+    assert isinstance(session.vm.vdisk.base.fs, NfsMount)
+    result = grid.run(session.run_application(synthetic_compute(2.0)))
+    assert result.user_time > 2.0
+
+
+def test_nfs_access_slower_than_pvfs_on_second_session():
+    """Without the shared proxy, every session pays the WAN again."""
+    def second_session_time(access):
+        grid = demo_grid()
+        first = grid.new_session(tiny_session_config(
+            image_access=access, vm_name="one"))
+        grid.run(first.establish())
+        start = grid.sim.now
+        second = grid.new_session(tiny_session_config(
+            image_access=access, vm_name="two"))
+        grid.run(second.establish())
+        return grid.sim.now - start
+
+    assert second_session_time("pvfs") < 0.5 * second_session_time("nfs")
+
+
+def test_networking_none():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(networking="none"))
+    grid.run(session.establish())
+    assert session.vm.address is None
+    assert session.lease is None
+    assert session.tunnel is None
+    # Shutdown works without a lease to release.
+    grid.run(session.shutdown())
+
+
+def test_boot_with_local_copy_nonpersistent():
+    """Explicit staging combined with a cold boot and a COW disk."""
+    grid = demo_grid(image_size=64 * 1024 * 1024)
+    session = grid.new_session(tiny_session_config(
+        image_access="local-copy", disk_mode="nonpersistent",
+        start_mode="boot"))
+    grid.run(session.establish())
+    assert session.vm.guest_os.booted
+    # The staged private copy backs the disk locally.
+    assert session.vm.vdisk.base.fs is session.vmm.host.root_fs
+
+
+def test_mount_user_data_disabled():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config(mount_user_data=False))
+    grid.run(session.establish())
+    assert "/home/ana" not in session.guest_os.mounts
+    assert session.user_data_fs is None
+    # sync_user_data degenerates to a no-op.
+    assert grid.run(session.sync_user_data()) == 0
+
+
+def test_second_establish_rejected_while_established():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    grid.run(session.establish())
+    # The VM name is taken on the VMM: re-establishing the same session
+    # object must fail loudly rather than double-create.
+    with pytest.raises(SimulationError):
+        grid.run(session.establish())
+
+
+def test_shutdown_without_vm_rejected():
+    grid = demo_grid()
+    session = grid.new_session(tiny_session_config())
+    with pytest.raises(SimulationError):
+        grid.run(session.shutdown())
+
+
+def test_migrate_before_establish_rejected():
+    grid = demo_grid()
+    grid.add_compute_host("compute2", site="nw")
+    session = grid.new_session(tiny_session_config())
+    with pytest.raises(SimulationError):
+        grid.run(session.migrate_to("compute2"))

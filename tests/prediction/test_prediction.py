@@ -1,0 +1,191 @@
+"""Unit tests for the RPS-style prediction toolkit."""
+
+import math
+import random
+
+import pytest
+
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.prediction import (
+    ArPredictor,
+    HostLoadSensor,
+    LastValuePredictor,
+    RunningTimePredictor,
+    WindowedMeanPredictor,
+    evaluate_predictor,
+)
+from repro.simulation import Simulation, SimulationError
+from repro.workloads import HostLoadTrace
+
+
+# ---------------------------------------------------------------------------
+# Predictors
+# ---------------------------------------------------------------------------
+
+def test_last_value_predictor():
+    p = LastValuePredictor().fit([1.0, 2.0, 3.0])
+    assert p.predict(3) == [3.0, 3.0, 3.0]
+    with pytest.raises(SimulationError):
+        LastValuePredictor().predict()
+    with pytest.raises(SimulationError):
+        LastValuePredictor().fit([])
+
+
+def test_windowed_mean_predictor():
+    p = WindowedMeanPredictor(window=2).fit([10.0, 1.0, 3.0])
+    assert p.predict(1) == [2.0]
+    with pytest.raises(SimulationError):
+        WindowedMeanPredictor(window=0)
+
+
+def test_ar_predictor_learns_ar1_process():
+    rng = random.Random(3)
+    phi = 0.8
+    values = [0.0]
+    for _i in range(500):
+        values.append(phi * values[-1] + rng.gauss(0, 0.1))
+    p = ArPredictor(order=2).fit(values)
+    forecast = p.predict(1)[0]
+    assert forecast == pytest.approx(phi * values[-1], abs=0.15)
+
+
+def test_ar_predictor_multi_step_decays_to_mean():
+    # A strongly mean-reverting series: long forecasts approach the mean.
+    values = [1.0, -1.0] * 100
+    p = ArPredictor(order=2).fit(values)
+    far = p.predict(50)[-1]
+    assert abs(far) <= 1.0 + 1e-9
+
+
+def test_ar_predictor_needs_enough_data():
+    with pytest.raises(SimulationError):
+        ArPredictor(order=8).fit([1.0, 2.0, 3.0])
+    with pytest.raises(SimulationError):
+        ArPredictor(order=0)
+    with pytest.raises(SimulationError):
+        ArPredictor(order=2).predict()
+
+
+def test_evaluate_predictor_ranks_models_on_autocorrelated_load():
+    """On AR-ish host load, AR beats the windowed mean (RPS's result)."""
+    rng = random.Random(9)
+    trace = HostLoadTrace.synthetic(1.0, rng, length=400,
+                                    autocorrelation=0.95)
+    mse_ar = evaluate_predictor(lambda: ArPredictor(order=4),
+                                trace.values, warmup=50)
+    mse_mean = evaluate_predictor(lambda: WindowedMeanPredictor(window=32),
+                                  trace.values, warmup=50)
+    assert mse_ar < mse_mean
+
+
+def test_evaluate_predictor_validation():
+    with pytest.raises(SimulationError):
+        evaluate_predictor(LastValuePredictor, [1.0, 2.0], warmup=16)
+
+
+# ---------------------------------------------------------------------------
+# Sensor
+# ---------------------------------------------------------------------------
+
+def test_host_load_sensor_samples_run_queue():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    sensor = HostLoadSensor(cpu, period=1.0)
+    sensor.start()
+    cpu.submit(CpuTask("a", work=5.0))
+    cpu.submit(CpuTask("b", work=5.0))
+    sim.run(until=20.0)
+    sensor.stop()
+    assert len(sensor.series) == 20
+    # Two runnable tasks for the first ~10 s, none afterwards.
+    assert sensor.series[2] == pytest.approx(2.0)
+    assert sensor.series[-1] == pytest.approx(0.0)
+
+
+def test_group_sensor_measures_vm_share():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm")
+    sensor = HostLoadSensor(cpu, period=1.0, group=vm)
+    sensor.start()
+    cpu.submit(CpuTask("guest", work=100.0, group=vm))
+    cpu.submit(CpuTask("native", work=100.0))
+    sim.run(until=5.0)
+    sensor.stop()
+    assert sensor.series[-1] == pytest.approx(0.5)
+
+
+def test_sensor_validation():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim)
+    with pytest.raises(SimulationError):
+        HostLoadSensor(cpu, period=0.0)
+    sensor = HostLoadSensor(cpu)
+    sensor.start()
+    with pytest.raises(SimulationError):
+        sensor.start()
+
+
+# ---------------------------------------------------------------------------
+# Running-time prediction
+# ---------------------------------------------------------------------------
+
+def test_dilation_model():
+    rtp = RunningTimePredictor(LastValuePredictor, cores=1)
+    assert rtp.dilation(0.0) == pytest.approx(1.0)
+    assert rtp.dilation(1.0) == pytest.approx(2.0)
+    rtp2 = RunningTimePredictor(LastValuePredictor, cores=2)
+    assert rtp2.dilation(1.0) == pytest.approx(1.0)   # second core absorbs
+    assert rtp2.dilation(3.0) == pytest.approx(2.0)
+
+
+def test_predict_running_time_on_idle_host():
+    rtp = RunningTimePredictor(LastValuePredictor, cores=1)
+    assert rtp.predict_running_time(10.0, [0.0] * 5) == pytest.approx(10.0)
+
+
+def test_predict_running_time_on_loaded_host():
+    rtp = RunningTimePredictor(LastValuePredictor, cores=1)
+    predicted = rtp.predict_running_time(10.0, [1.0] * 5)
+    assert predicted == pytest.approx(20.0)
+
+
+def test_predict_running_time_validation():
+    rtp = RunningTimePredictor(LastValuePredictor)
+    assert rtp.predict_running_time(0.0, [1.0]) == 0.0
+    with pytest.raises(SimulationError):
+        rtp.predict_running_time(-1.0, [1.0])
+    with pytest.raises(SimulationError):
+        RunningTimePredictor(LastValuePredictor, cores=0)
+
+
+def test_rank_hosts_prefers_idle_machine():
+    rtp = RunningTimePredictor(LastValuePredictor, cores=1)
+    ranking = rtp.rank_hosts(10.0, {
+        "busy": [2.0] * 8,
+        "idle": [0.1] * 8,
+        "medium": [0.8] * 8,
+    })
+    assert ranking == ["idle", "medium", "busy"]
+
+
+def test_prediction_matches_simulation():
+    """End to end: predicted wall time tracks the simulated outcome."""
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    # Steady background load of 1.0 (one competing task).
+    cpu.submit(CpuTask("background", work=10_000.0))
+    sensor = HostLoadSensor(cpu, period=1.0)
+    sensor.start()
+    sim.run(until=30.0)
+    # The run queue (1.0: the background task) is the other-work load a
+    # newly arriving job will compete with.
+    history = list(sensor.series)
+
+    task = CpuTask("job", work=20.0)
+    cpu.submit(task)
+    sim.run(until=30.0 + 200.0)
+    actual = task.finished_at - task.started_at
+    rtp = RunningTimePredictor(LastValuePredictor, cores=1)
+    predicted = rtp.predict_running_time(20.0, history)
+    assert predicted == pytest.approx(actual, rel=0.1)

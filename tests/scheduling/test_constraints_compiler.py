@@ -1,0 +1,143 @@
+"""Unit tests for the constraint language and schedule compiler."""
+
+import pytest
+
+from repro.scheduling import (
+    InfeasibleSchedule,
+    OwnerConstraints,
+    compile_constraints,
+    parse_constraints,
+)
+from repro.scheduling.constraints import ConstraintSyntaxError
+from repro.simulation import SimulationError
+
+
+# ---------------------------------------------------------------------------
+# Language
+# ---------------------------------------------------------------------------
+
+def test_parse_full_policy():
+    text = """
+    # Owner policy for desktop pc07
+    limit cpu 0.5
+    limit cpu 0.2 when interactive
+    reserve slice 30ms period 100ms
+    weight 2
+    """
+    constraints = parse_constraints(text)
+    assert constraints.cpu_cap == pytest.approx(0.5)
+    assert constraints.interactive_cpu_cap == pytest.approx(0.2)
+    assert constraints.slice_seconds == pytest.approx(0.030)
+    assert constraints.period_seconds == pytest.approx(0.100)
+    assert constraints.weight == pytest.approx(2.0)
+    assert constraints.has_reservation
+
+
+def test_parse_empty_policy():
+    constraints = parse_constraints("\n  # comments only\n")
+    assert constraints.cpu_cap is None
+    assert not constraints.has_reservation
+    assert constraints.weight == 1.0
+
+
+def test_time_suffixes():
+    constraints = parse_constraints("reserve slice 0.5s period 2s")
+    assert constraints.slice_seconds == pytest.approx(0.5)
+    assert constraints.period_seconds == pytest.approx(2.0)
+
+
+def test_effective_cap():
+    constraints = parse_constraints(
+        "limit cpu 0.8\nlimit cpu 0.3 when interactive")
+    assert constraints.effective_cap(interactive=False) == 0.8
+    assert constraints.effective_cap(interactive=True) == 0.3
+
+
+def test_effective_cap_without_interactive_rule():
+    constraints = parse_constraints("limit cpu 0.8")
+    assert constraints.effective_cap(interactive=True) == 0.8
+
+
+@pytest.mark.parametrize("bad", [
+    "limit cpu",                      # missing value
+    "limit memory 0.5",               # unknown resource
+    "limit cpu 0.5 when idle",        # unknown condition
+    "reserve slice 10ms",             # incomplete reservation
+    "weight",                         # missing value
+    "frobnicate 3",                   # unknown directive
+    "limit cpu banana",               # bad number
+    "reserve slice xms period 1s",    # bad time
+])
+def test_parse_errors(bad):
+    with pytest.raises(ConstraintSyntaxError):
+        parse_constraints(bad)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(ConstraintSyntaxError, match="line 2"):
+        parse_constraints("limit cpu 0.5\nbogus directive")
+
+
+def test_semantic_validation():
+    with pytest.raises(ConstraintSyntaxError):
+        OwnerConstraints(cpu_cap=1.5)
+    with pytest.raises(ConstraintSyntaxError):
+        OwnerConstraints(slice_seconds=0.2, period_seconds=0.1)
+    with pytest.raises(ConstraintSyntaxError):
+        OwnerConstraints(slice_seconds=0.1)  # slice without period
+    with pytest.raises(ConstraintSyntaxError):
+        OwnerConstraints(weight=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+def test_compile_periodic_schedule():
+    constraints = parse_constraints(
+        "limit cpu 0.8\nreserve slice 20ms period 100ms")
+    schedule = compile_constraints(constraints, ["vm1", "vm2", "vm3"])
+    assert schedule.kind == "periodic"
+    assert schedule.entries["vm1"] == (0.020, 0.100)
+    assert schedule.utilization == pytest.approx(0.6)
+    assert "periodic" in schedule.describe()
+
+
+def test_compile_infeasible_reservations():
+    constraints = parse_constraints(
+        "limit cpu 0.5\nreserve slice 30ms period 100ms")
+    with pytest.raises(InfeasibleSchedule):
+        compile_constraints(constraints, ["vm1", "vm2"])
+
+
+def test_compile_reservations_respect_cores():
+    constraints = parse_constraints("reserve slice 50ms period 100ms")
+    # Four half-core VMs fit on two cores.
+    schedule = compile_constraints(constraints, list("abcd"), cores=2)
+    assert schedule.utilization == pytest.approx(2.0)
+    with pytest.raises(InfeasibleSchedule):
+        compile_constraints(constraints, list("abcde"), cores=2)
+
+
+def test_compile_proportional_schedule():
+    constraints = parse_constraints("limit cpu 0.5\nweight 3")
+    schedule = compile_constraints(constraints, ["vm1", "vm2"])
+    assert schedule.kind == "proportional"
+    assert schedule.entries["vm1"] == (3.0,)
+    assert schedule.utilization == pytest.approx(0.5)
+    assert "proportional" in schedule.describe()
+
+
+def test_compile_interactive_utilization():
+    constraints = parse_constraints(
+        "limit cpu 0.8\nlimit cpu 0.2 when interactive")
+    schedule = compile_constraints(constraints, ["vm1"])
+    assert schedule.interactive_utilization == pytest.approx(0.2)
+
+
+def test_compile_validation():
+    constraints = parse_constraints("limit cpu 0.5")
+    with pytest.raises(SimulationError):
+        compile_constraints(constraints, [])
+    with pytest.raises(SimulationError):
+        compile_constraints(constraints, ["vm", "vm"])

@@ -1,0 +1,253 @@
+"""Tests for the four enforcement mechanisms of Section 3.2."""
+
+import random
+
+import pytest
+
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.scheduling import (
+    DutyCycleModulator,
+    LotteryScheduler,
+    PeriodicEnforcer,
+    WfqScheduler,
+)
+from repro.simulation import Simulation, SimulationError
+
+
+def rig(sim, groups=1, cores=1):
+    cpu = ProcessorSharingCpu(sim, cores=cores, context_switch_cost=0.0)
+    made = [TaskGroup("vm%d" % i) for i in range(groups)]
+    return cpu, made
+
+
+def infinite_feed(sim, cpu, group, work=10_000.0):
+    """Submit one long task so the group always has demand."""
+    task = CpuTask("feed-" + group.name, work=work, group=group)
+    cpu.submit(task)
+    return task
+
+
+def progress(task):
+    return task.work - task.remaining
+
+
+# ---------------------------------------------------------------------------
+# PeriodicEnforcer
+# ---------------------------------------------------------------------------
+
+def test_periodic_enforcer_delivers_reserved_share():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    task = infinite_feed(sim, cpu, vm)
+    enforcer = PeriodicEnforcer(cpu, {vm: (0.03, 0.10)})
+    enforcer.start()
+    sim.run(until=100.0)
+    assert progress(task) == pytest.approx(30.0, rel=0.02)
+    assert enforcer.expected_share(vm) == pytest.approx(0.3)
+    assert enforcer.periods_served[vm] >= 990
+
+
+def test_periodic_enforcer_staggers_two_vms():
+    sim = Simulation()
+    cpu, (vm1, vm2) = rig(sim, groups=2)
+    t1 = infinite_feed(sim, cpu, vm1)
+    t2 = infinite_feed(sim, cpu, vm2)
+    enforcer = PeriodicEnforcer(cpu, {vm1: (0.05, 0.2), vm2: (0.05, 0.2)})
+    enforcer.start()
+    sim.run(until=100.0)
+    assert progress(t1) == pytest.approx(25.0, rel=0.03)
+    assert progress(t2) == pytest.approx(25.0, rel=0.03)
+
+
+def test_periodic_enforcer_stop_reopens():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    task = infinite_feed(sim, cpu, vm, work=50.0)
+    enforcer = PeriodicEnforcer(cpu, {vm: (0.01, 0.10)})
+    enforcer.start()
+    sim.run(until=10.0)
+    enforcer.stop()
+    sim.run(until=60.0)
+    # After stop the task runs at full speed: ~1.0 + 49 more seconds.
+    assert not task.done.triggered or task.finished_at < 60.0
+
+
+def test_periodic_enforcer_validation():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    with pytest.raises(SimulationError):
+        PeriodicEnforcer(cpu, {})
+    with pytest.raises(SimulationError):
+        PeriodicEnforcer(cpu, {vm: (0.2, 0.1)})
+    enforcer = PeriodicEnforcer(cpu, {vm: (0.05, 0.1)})
+    enforcer.start()
+    with pytest.raises(SimulationError):
+        enforcer.start()
+
+
+# ---------------------------------------------------------------------------
+# LotteryScheduler
+# ---------------------------------------------------------------------------
+
+def test_lottery_shares_converge_to_tickets():
+    sim = Simulation()
+    cpu, (vm1, vm2) = rig(sim, groups=2)
+    t1 = infinite_feed(sim, cpu, vm1)
+    t2 = infinite_feed(sim, cpu, vm2)
+    lottery = LotteryScheduler(cpu, {vm1: 3, vm2: 1}, quantum=0.05,
+                               rng=random.Random(11))
+    lottery.start()
+    sim.run(until=200.0)
+    assert lottery.expected_share(vm1) == pytest.approx(0.75)
+    assert lottery.observed_share(vm1) == pytest.approx(0.75, abs=0.05)
+    ratio = progress(t1) / max(progress(t2), 1e-9)
+    assert ratio == pytest.approx(3.0, rel=0.15)
+
+
+def test_lottery_reticketing():
+    sim = Simulation()
+    cpu, (vm1, vm2) = rig(sim, groups=2)
+    infinite_feed(sim, cpu, vm1)
+    infinite_feed(sim, cpu, vm2)
+    lottery = LotteryScheduler(cpu, {vm1: 1, vm2: 1}, quantum=0.05,
+                               rng=random.Random(5))
+    lottery.start()
+    sim.run(until=10.0)
+    lottery.set_tickets(vm1, 9)
+    wins_before = dict(lottery.wins)
+    sim.run(until=110.0)
+    new_wins = lottery.wins[vm1] - wins_before[vm1]
+    total_new = sum(lottery.wins.values()) - sum(wins_before.values())
+    assert new_wins / total_new == pytest.approx(0.9, abs=0.06)
+
+
+def test_lottery_validation():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    with pytest.raises(SimulationError):
+        LotteryScheduler(cpu, {})
+    with pytest.raises(SimulationError):
+        LotteryScheduler(cpu, {vm: 0})
+    lottery = LotteryScheduler(cpu, {vm: 1})
+    with pytest.raises(SimulationError):
+        lottery.set_tickets(vm, -1)
+    with pytest.raises(SimulationError):
+        lottery.set_tickets(TaskGroup("ghost"), 1)
+
+
+# ---------------------------------------------------------------------------
+# WfqScheduler
+# ---------------------------------------------------------------------------
+
+def test_wfq_shares_match_weights_deterministically():
+    sim = Simulation()
+    cpu, (vm1, vm2) = rig(sim, groups=2)
+    t1 = infinite_feed(sim, cpu, vm1)
+    t2 = infinite_feed(sim, cpu, vm2)
+    wfq = WfqScheduler(cpu, {vm1: 2.0, vm2: 1.0}, quantum=0.05)
+    wfq.start()
+    sim.run(until=60.0)
+    assert wfq.expected_share(vm1) == pytest.approx(2.0 / 3.0)
+    assert wfq.observed_share(vm1) == pytest.approx(2.0 / 3.0, abs=0.01)
+    assert progress(t1) / progress(t2) == pytest.approx(2.0, rel=0.05)
+
+
+def test_wfq_lower_variance_than_lottery():
+    """Determinism: observed share tracks expectation tightly early on."""
+    sim = Simulation()
+    cpu, (vm1, vm2) = rig(sim, groups=2)
+    infinite_feed(sim, cpu, vm1)
+    infinite_feed(sim, cpu, vm2)
+    wfq = WfqScheduler(cpu, {vm1: 1.0, vm2: 1.0}, quantum=0.05)
+    wfq.start()
+    sim.run(until=1.0)  # just 20 quanta
+    assert wfq.observed_share(vm1) == pytest.approx(0.5, abs=0.051)
+
+
+def test_wfq_validation():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    with pytest.raises(SimulationError):
+        WfqScheduler(cpu, {})
+    with pytest.raises(SimulationError):
+        WfqScheduler(cpu, {vm: -1.0})
+    with pytest.raises(SimulationError):
+        WfqScheduler(cpu, {vm: 1.0}, quantum=0.0)
+
+
+# ---------------------------------------------------------------------------
+# DutyCycleModulator (SIGSTOP/SIGCONT)
+# ---------------------------------------------------------------------------
+
+def test_modulator_approximates_duty_cycle():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    task = infinite_feed(sim, cpu, vm)
+    modulator = DutyCycleModulator(cpu, vm, duty=0.25, period=1.0,
+                                   signal_cost=0.0)
+    modulator.start()
+    sim.run(until=100.0)
+    assert progress(task) == pytest.approx(25.0, rel=0.03)
+    assert modulator.signals_sent >= 199
+
+
+def test_modulator_dynamic_duty_change():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    task = infinite_feed(sim, cpu, vm)
+    modulator = DutyCycleModulator(cpu, vm, duty=0.1, period=1.0,
+                                   signal_cost=0.0)
+    modulator.start()
+    sim.run(until=50.0)
+    at_low = progress(task)
+    modulator.set_duty(0.9)
+    sim.run(until=100.0)
+    at_high = progress(task) - at_low
+    assert at_low == pytest.approx(5.0, rel=0.1)
+    assert at_high == pytest.approx(45.0, rel=0.1)
+
+
+def test_modulator_full_duty_never_stops():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    task = infinite_feed(sim, cpu, vm, work=10.0)
+    modulator = DutyCycleModulator(cpu, vm, duty=1.0, period=1.0,
+                                   signal_cost=0.0)
+    modulator.start()
+    sim.run(until=10.5)
+    assert task.done.triggered
+
+
+def test_modulator_validation():
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    with pytest.raises(SimulationError):
+        DutyCycleModulator(cpu, vm, duty=0.0)
+    with pytest.raises(SimulationError):
+        DutyCycleModulator(cpu, vm, duty=0.5, period=0.0)
+    # The run window must outlast the signal delivery (would otherwise
+    # zero-loop the simulator).
+    with pytest.raises(SimulationError):
+        DutyCycleModulator(cpu, vm, duty=0.01, period=0.01,
+                           signal_cost=1e-3)
+    modulator = DutyCycleModulator(cpu, vm)
+    with pytest.raises(SimulationError):
+        modulator.set_duty(2.0)
+    with pytest.raises(SimulationError):
+        modulator.set_duty(1e-5)
+
+
+def test_all_enforcers_respect_local_work_priority():
+    """The owner's point: a capped VM leaves CPU for local tasks."""
+    sim = Simulation()
+    cpu, (vm,) = rig(sim)
+    vm_task = infinite_feed(sim, cpu, vm)
+    local = CpuTask("local-interactive", work=50.0)
+    cpu.submit(local)
+    enforcer = PeriodicEnforcer(cpu, {vm: (0.02, 0.10)})
+    enforcer.start()
+    sim.run(until=80.0)
+    # Local work got the remaining ~80% of the machine.
+    assert local.done.triggered
+    assert local.finished_at < 80.0
+    assert progress(vm_task) < 0.3 * 80.0

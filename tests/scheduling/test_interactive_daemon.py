@@ -1,0 +1,117 @@
+"""Tests for the interactive-cap policy daemon."""
+
+import pytest
+
+from repro.hardware import CpuTask, ProcessorSharingCpu, TaskGroup
+from repro.scheduling import InteractivePolicyDaemon, parse_constraints
+from repro.simulation import Simulation, SimulationError
+
+POLICY = parse_constraints("limit cpu 0.8\nlimit cpu 0.2 when interactive")
+
+
+def rig(sim):
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm = TaskGroup("vm")
+    guest = CpuTask("guest", work=10_000.0, group=vm)
+    cpu.submit(guest)
+    return cpu, vm, guest
+
+
+def test_daemon_applies_normal_cap_when_idle():
+    sim = Simulation()
+    cpu, vm, guest = rig(sim)
+    daemon = InteractivePolicyDaemon(cpu, [vm], POLICY)
+    daemon.start()
+    assert daemon.interactive is False
+    sim.run(until=10.0)
+    cpu.sync()
+    # 80% cap in force.
+    assert guest.work - guest.remaining == pytest.approx(8.0, rel=0.02)
+
+
+def test_daemon_tightens_on_local_activity():
+    sim = Simulation()
+    cpu, vm, guest = rig(sim)
+    daemon = InteractivePolicyDaemon(cpu, [vm], POLICY, poll_interval=0.25)
+    daemon.start()
+    sim.run(until=10.0)
+    cpu.sync()
+    at_10 = guest.work - guest.remaining
+
+    # The owner sits down: local interactive work appears.
+    local = CpuTask("owner-editor", work=50.0)
+    cpu.submit(local)
+    sim.run(until=20.0)
+    cpu.sync()
+    at_20 = guest.work - guest.remaining
+    assert daemon.interactive is True
+    assert daemon.transitions >= 1
+    # VM throttled to ~20% while the owner works.
+    assert at_20 - at_10 == pytest.approx(2.0, rel=0.15)
+    # The owner's work gets nearly everything else.
+    assert local.remaining < 50.0 - 7.0
+
+
+def test_daemon_relaxes_when_owner_leaves():
+    sim = Simulation()
+    cpu, vm, guest = rig(sim)
+    daemon = InteractivePolicyDaemon(cpu, [vm], POLICY, poll_interval=0.25)
+    daemon.start()
+    local = CpuTask("owner", work=5.0)
+    cpu.submit(local)
+    sim.run(until=30.0)
+    cpu.sync()
+    # Local work long gone; daemon must have switched back to 0.8.
+    assert daemon.interactive is False
+    assert daemon.transitions >= 2
+    progress = guest.work - guest.remaining
+    # Roughly: ~6.5s interactive-ish at 0.2, rest at 0.8.
+    assert progress > 0.5 * 30.0
+
+
+def test_daemon_splits_cap_among_groups_by_weight():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm1 = TaskGroup("vm1", weight=3.0)
+    vm2 = TaskGroup("vm2", weight=1.0)
+    g1 = CpuTask("g1", work=1000.0, group=vm1)
+    g2 = CpuTask("g2", work=1000.0, group=vm2)
+    cpu.submit(g1)
+    cpu.submit(g2)
+    daemon = InteractivePolicyDaemon(cpu, [vm1, vm2], POLICY)
+    daemon.start()
+    sim.run(until=10.0)
+    cpu.sync()
+    assert g1.work - g1.remaining == pytest.approx(6.0, rel=0.05)
+    assert g2.work - g2.remaining == pytest.approx(2.0, rel=0.05)
+
+
+def test_daemon_stop_lifts_caps():
+    sim = Simulation()
+    cpu, vm, guest = rig(sim)
+    daemon = InteractivePolicyDaemon(cpu, [vm], POLICY)
+    daemon.start()
+    sim.run(until=5.0)
+    daemon.stop()
+    sim.run(until=10.0)
+    cpu.sync()
+    progress = guest.work - guest.remaining
+    # 5s at 0.8 plus 5s at full speed.
+    assert progress == pytest.approx(4.0 + 5.0, rel=0.05)
+
+
+def test_daemon_validation():
+    sim = Simulation()
+    cpu = ProcessorSharingCpu(sim)
+    with pytest.raises(SimulationError):
+        InteractivePolicyDaemon(cpu, [], POLICY)
+    with pytest.raises(SimulationError):
+        InteractivePolicyDaemon(cpu, [TaskGroup("vm")], POLICY,
+                                poll_interval=0.0)
+    uncapped = parse_constraints("weight 2")
+    with pytest.raises(SimulationError):
+        InteractivePolicyDaemon(cpu, [TaskGroup("vm")], uncapped)
+    daemon = InteractivePolicyDaemon(cpu, [TaskGroup("vm")], POLICY)
+    daemon.start()
+    with pytest.raises(SimulationError):
+        daemon.start()

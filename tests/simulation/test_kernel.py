@@ -1,0 +1,401 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation import (
+    Event,
+    Interrupt,
+    Simulation,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_clock_can_start_elsewhere():
+    sim = Simulation(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+
+    def waiter(sim):
+        yield sim.timeout(3.5)
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_zero_timeout_allowed():
+    sim = Simulation()
+    log = []
+
+    def waiter(sim):
+        yield sim.timeout(0.0)
+        log.append(sim.now)
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert log == [0.0]
+
+
+def test_process_return_value():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    proc = sim.spawn(worker(sim))
+    result = sim.run_until_complete(proc)
+    assert result == 42
+    assert proc.value == 42
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulation()
+    log = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.spawn(worker(sim, "b", 2.0))
+    sim.spawn(worker(sim, "a", 1.0))
+    sim.spawn(worker(sim, "c", 3.0))
+    sim.run()
+    assert log == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulation()
+    log = []
+
+    def worker(sim, name):
+        yield sim.timeout(1.0)
+        log.append(name)
+
+    for name in "abc":
+        sim.spawn(worker(sim, name))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulation()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "payload"
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        return value
+
+    proc = sim.spawn(parent(sim))
+    assert sim.run_until_complete(proc) == "payload"
+    assert sim.now == 2.0
+
+
+def test_waiting_on_already_finished_process():
+    sim = Simulation()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "early"
+
+    child_proc = sim.spawn(child(sim))
+
+    def parent(sim):
+        yield sim.timeout(5.0)
+        value = yield child_proc
+        return value
+
+    parent_proc = sim.spawn(parent(sim))
+    assert sim.run_until_complete(parent_proc) == "early"
+    assert sim.now == 5.0
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulation()
+    gate = sim.event()
+
+    def opener(sim):
+        yield sim.timeout(4.0)
+        gate.succeed("open")
+
+    def waiter(sim):
+        value = yield gate
+        return (sim.now, value)
+
+    sim.spawn(opener(sim))
+    waiter_proc = sim.spawn(waiter(sim))
+    assert sim.run_until_complete(waiter_proc) == (4.0, "open")
+
+
+def test_event_cannot_fire_twice():
+    sim = Simulation()
+    gate = sim.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.fail(RuntimeError("boom"))
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulation()
+    gate = sim.event()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        gate.fail(ValueError("bad gate"))
+
+    def waiter(sim):
+        try:
+            yield gate
+        except ValueError as exc:
+            return str(exc)
+
+    sim.spawn(failer(sim))
+    waiter_proc = sim.spawn(waiter(sim))
+    assert sim.run_until_complete(waiter_proc) == "bad gate"
+
+
+def test_uncaught_process_exception_escalates():
+    sim = Simulation()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("model bug")
+
+    sim.spawn(crasher(sim))
+    with pytest.raises(RuntimeError, match="model bug"):
+        sim.run()
+
+
+def test_exception_in_waited_process_propagates_to_waiter():
+    sim = Simulation()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(crasher(sim))
+        except RuntimeError as exc:
+            return "caught %s" % exc
+
+    proc = sim.spawn(parent(sim))
+    assert sim.run_until_complete(proc) == "caught inner"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulation()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", sim.now, interrupt.cause)
+
+    sleeper_proc = sim.spawn(sleeper(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(3.0)
+        sleeper_proc.interrupt(cause="preempt")
+
+    sim.spawn(interrupter(sim))
+    assert sim.run_until_complete(sleeper_proc) == ("interrupted", 3.0,
+                                                    "preempt")
+
+
+def test_interrupt_dead_process_is_error():
+    sim = Simulation()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_rewait():
+    sim = Simulation()
+
+    def sleeper(sim):
+        deadline = sim.now + 10.0
+        while True:
+            try:
+                yield sim.timeout(deadline - sim.now)
+                return sim.now
+            except Interrupt:
+                continue
+
+    sleeper_proc = sim.spawn(sleeper(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(2.0)
+        sleeper_proc.interrupt()
+        yield sim.timeout(2.0)
+        sleeper_proc.interrupt()
+
+    sim.spawn(interrupter(sim))
+    assert sim.run_until_complete(sleeper_proc) == 10.0
+
+
+def test_run_until_bounds_clock():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(10.0)
+
+    sim.spawn(worker(sim))
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulation()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulation()
+
+    def parent(sim):
+        results = yield sim.all_of([sim.timeout(1.0, "a"),
+                                    sim.timeout(3.0, "b"),
+                                    sim.timeout(2.0, "c")])
+        return (sim.now, results)
+
+    proc = sim.spawn(parent(sim))
+    now, results = sim.run_until_complete(proc)
+    assert now == 3.0
+    assert sorted(results) == ["a", "b", "c"]
+
+
+def test_any_of_fires_on_first_event():
+    sim = Simulation()
+
+    def parent(sim):
+        results = yield sim.any_of([sim.timeout(5.0, "slow"),
+                                    sim.timeout(1.0, "fast")])
+        return (sim.now, results)
+
+    proc = sim.spawn(parent(sim))
+    now, results = sim.run_until_complete(proc)
+    assert now == 1.0
+    assert "fast" in results
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulation()
+
+    def parent(sim):
+        results = yield sim.all_of([])
+        return results
+
+    proc = sim.spawn(parent(sim))
+    assert sim.run_until_complete(proc) == []
+
+
+def test_yielding_non_event_is_error():
+    sim = Simulation()
+
+    def bad(sim):
+        yield "not an event"
+
+    sim.spawn(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_spawning_non_generator_is_error():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulation()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_deadlock_detected_by_run_until_complete():
+    sim = Simulation()
+
+    def stuck(sim):
+        yield sim.event()  # never fires
+
+    proc = sim.spawn(stuck(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(proc)
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulation()
+    seen = []
+
+    def worker(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert seen == [proc]
+    assert sim.active_process is None
+
+
+def test_timeout_carries_value():
+    sim = Simulation()
+
+    def worker(sim):
+        value = yield sim.timeout(1.0, value="tick")
+        return value
+
+    proc = sim.spawn(worker(sim))
+    assert sim.run_until_complete(proc) == "tick"
+
+
+def test_large_chain_of_processes():
+    sim = Simulation()
+
+    def link(sim, depth):
+        if depth == 0:
+            yield sim.timeout(1.0)
+            return 0
+        value = yield sim.spawn(link(sim, depth - 1))
+        return value + 1
+
+    proc = sim.spawn(link(sim, 50))
+    assert sim.run_until_complete(proc) == 50
+    assert sim.now == 1.0
+
+
+def test_event_value_before_fire_is_error():
+    sim = Simulation()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        _ = event.value

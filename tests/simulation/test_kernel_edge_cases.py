@@ -1,0 +1,131 @@
+"""Additional kernel edge cases: conditions, interrupts, escalation."""
+
+import pytest
+
+from repro.simulation import (
+    Event,
+    Interrupt,
+    Simulation,
+    SimulationError,
+)
+
+
+def test_all_of_propagates_failure():
+    sim = Simulation()
+    bad = sim.event()
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        bad.fail(ValueError("broken dependency"))
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([sim.timeout(5.0), bad])
+        except ValueError as exc:
+            return "caught %s" % exc
+
+    sim.spawn(failer(sim))
+    proc = sim.spawn(waiter(sim))
+    assert sim.run_until_complete(proc) == "caught broken dependency"
+
+
+def test_any_of_with_already_fired_event():
+    sim = Simulation()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()  # process the event
+
+    def waiter(sim):
+        values = yield sim.any_of([done, sim.timeout(100.0)])
+        return (sim.now, values)
+
+    proc = sim.spawn(waiter(sim))
+    now, values = sim.run_until_complete(proc)
+    assert now == 0.0
+    assert "early" in values
+
+
+def test_interrupt_before_first_resume():
+    """Interrupting a process that never started raises at its head."""
+    sim = Simulation()
+
+    def never_started(sim):
+        yield sim.timeout(1.0)  # pragma: no cover - interrupted first
+
+    proc = sim.spawn(never_started(sim))
+    proc.interrupt(cause="early")
+    with pytest.raises(Interrupt):
+        sim.run_until_complete(proc)
+
+
+def test_failed_process_consumed_by_waiter_does_not_escalate():
+    sim = Simulation()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def guardian(sim):
+        try:
+            yield sim.spawn(crasher(sim))
+        except RuntimeError:
+            return "contained"
+
+    proc = sim.spawn(guardian(sim))
+    assert sim.run_until_complete(proc) == "contained"
+    sim.run()  # nothing left to escalate
+
+
+def test_run_until_complete_consumes_failure_event():
+    """Regression: the failure must not escalate on a later run()."""
+    sim = Simulation()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    proc = sim.spawn(crasher(sim))
+    with pytest.raises(RuntimeError):
+        sim.run_until_complete(proc)
+    sim.timeout(1.0)
+    sim.run()  # must not re-raise the consumed failure
+
+
+def test_condition_with_mixed_simulations_rejected():
+    sim_a = Simulation()
+    sim_b = Simulation()
+    with pytest.raises(SimulationError):
+        sim_a.all_of([sim_a.timeout(1.0), sim_b.timeout(1.0)])
+
+
+def test_event_from_other_simulation_rejected_on_yield():
+    sim_a = Simulation()
+    sim_b = Simulation()
+    foreign = Event(sim_b)
+
+    def confused(sim):
+        yield foreign
+
+    sim_a.spawn(confused(sim_a))
+    with pytest.raises(SimulationError):
+        sim_a.run()
+
+
+def test_step_with_empty_queue_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_nested_any_of_all_of():
+    sim = Simulation()
+
+    def waiter(sim):
+        inner = sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+        values = yield sim.any_of([inner, sim.timeout(10.0, "slow")])
+        return (sim.now, values)
+
+    proc = sim.spawn(waiter(sim))
+    now, values = sim.run_until_complete(proc)
+    assert now == 2.0
+    assert values[0] == ["a", "b"]

@@ -1,0 +1,141 @@
+"""Unit tests for statistics collectors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation import StatAccumulator, TimeSeriesMonitor
+
+
+# ---------------------------------------------------------------------------
+# StatAccumulator
+# ---------------------------------------------------------------------------
+
+def test_empty_accumulator():
+    acc = StatAccumulator("x")
+    assert acc.count == 0
+    assert acc.mean == 0.0
+    assert acc.stdev == 0.0
+    assert acc.minimum is None and acc.maximum is None
+
+
+def test_single_sample():
+    acc = StatAccumulator()
+    acc.add(5.0)
+    assert acc.mean == 5.0
+    assert acc.variance == 0.0
+    assert acc.minimum == acc.maximum == 5.0
+
+
+def test_known_statistics():
+    acc = StatAccumulator()
+    acc.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert acc.mean == pytest.approx(5.0)
+    # Unbiased variance of this classic data set is 32/7.
+    assert acc.variance == pytest.approx(32.0 / 7.0)
+    assert acc.minimum == 2.0 and acc.maximum == 9.0
+
+
+def test_summary_dict():
+    acc = StatAccumulator("lat")
+    acc.extend([1.0, 3.0])
+    summary = acc.summary()
+    assert summary["name"] == "lat"
+    assert summary["count"] == 2
+    assert summary["mean"] == pytest.approx(2.0)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=2, max_size=200))
+def test_accumulator_matches_direct_computation(values):
+    acc = StatAccumulator()
+    acc.extend(values)
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert acc.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    assert acc.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+    assert acc.minimum == min(values)
+    assert acc.maximum == max(values)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=100))
+def test_accumulator_min_le_mean_le_max(values):
+    acc = StatAccumulator()
+    acc.extend(values)
+    assert acc.minimum - 1e-9 <= acc.mean <= acc.maximum + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# TimeSeriesMonitor
+# ---------------------------------------------------------------------------
+
+def test_monitor_records_and_reads_back():
+    mon = TimeSeriesMonitor("util")
+    mon.record(0.0, 0.5)
+    mon.record(10.0, 1.0)
+    assert len(mon) == 2
+    assert mon.last_value == 1.0
+
+
+def test_monitor_rejects_out_of_order():
+    mon = TimeSeriesMonitor()
+    mon.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        mon.record(4.0, 2.0)
+
+
+def test_value_at_step_semantics():
+    mon = TimeSeriesMonitor()
+    mon.record(0.0, 1.0)
+    mon.record(10.0, 2.0)
+    assert mon.value_at(-1.0) is None
+    assert mon.value_at(0.0) == 1.0
+    assert mon.value_at(9.999) == 1.0
+    assert mon.value_at(10.0) == 2.0
+    assert mon.value_at(100.0) == 2.0
+
+
+def test_time_average_of_step_function():
+    mon = TimeSeriesMonitor()
+    mon.record(0.0, 0.0)
+    mon.record(5.0, 1.0)  # value 1.0 on [5, 10]
+    assert mon.time_average(0.0, 10.0) == pytest.approx(0.5)
+
+
+def test_time_average_partial_window():
+    mon = TimeSeriesMonitor()
+    mon.record(0.0, 2.0)
+    mon.record(4.0, 6.0)
+    # Over [2, 6]: value 2 on [2,4], value 6 on [4,6] -> (4+12)/4 = 4.
+    assert mon.time_average(2.0, 6.0) == pytest.approx(4.0)
+
+
+def test_time_average_empty_is_zero():
+    mon = TimeSeriesMonitor()
+    assert mon.time_average(0.0, 1.0) == 0.0
+
+
+def test_window_filters_samples():
+    mon = TimeSeriesMonitor()
+    for t in range(10):
+        mon.record(float(t), float(t) * 2)
+    window = mon.window(2.0, 4.0)
+    assert window == [(2.0, 4.0), (3.0, 6.0), (4.0, 8.0)]
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.floats(min_value=0, max_value=10,
+                                    allow_nan=False)),
+                min_size=1, max_size=50))
+def test_time_average_bounded_by_extremes(samples):
+    samples = sorted(samples, key=lambda s: s[0])
+    mon = TimeSeriesMonitor()
+    for t, v in samples:
+        mon.record(t, v)
+    lo = min(v for _, v in samples)
+    hi = max(v for _, v in samples)
+    avg = mon.time_average(samples[0][0], samples[-1][0] + 1.0)
+    assert lo - 1e-9 <= avg <= hi + 1e-9

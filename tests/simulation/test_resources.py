@@ -1,0 +1,248 @@
+"""Unit tests for Resource, Store and Container primitives."""
+
+import pytest
+
+from repro.simulation import Resource, Simulation, SimulationError, Store, Container
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulation()
+    res = Resource(sim, capacity=2)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_wakes_fifo_waiter():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, name, hold):
+        req = res.request()
+        yield req
+        log.append(("start", name, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append(("end", name, sim.now))
+
+    sim.spawn(user(sim, "a", 2.0))
+    sim.spawn(user(sim, "b", 1.0))
+    sim.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 3.0),
+    ]
+
+
+def test_resource_cancel_waiting_request():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    assert res.queue_length == 1
+    res.release(waiting)  # cancel before grant
+    assert res.queue_length == 0
+    res.release(held)
+    assert res.in_use == 0
+
+
+def test_resource_release_unknown_request_is_error():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    other = Resource(sim, capacity=1)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_capacity_validation():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_serializes_many_users():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    finish_times = []
+
+    def user(sim):
+        req = res.request()
+        yield req
+        yield sim.timeout(1.0)
+        res.release(req)
+        finish_times.append(sim.now)
+
+    for _ in range(5):
+        sim.spawn(user(sim))
+    sim.run()
+    assert finish_times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_put_then_get():
+    sim = Simulation()
+    store = Store(sim)
+
+    def producer(sim):
+        yield store.put("x")
+
+    def consumer(sim):
+        item = yield store.get()
+        return item
+
+    sim.spawn(producer(sim))
+    consumer_proc = sim.spawn(consumer(sim))
+    assert sim.run_until_complete(consumer_proc) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulation()
+    store = Store(sim)
+
+    def consumer(sim):
+        item = yield store.get()
+        return (sim.now, item)
+
+    def producer(sim):
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    consumer_proc = sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    assert sim.run_until_complete(consumer_proc) == (5.0, "late")
+
+
+def test_store_fifo_delivery():
+    sim = Simulation()
+    store = Store(sim)
+    received = []
+
+    def producer(sim):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert received == [0, 1, 2]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulation()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim):
+        yield store.put("first")
+        log.append(("put-first", sim.now))
+        yield store.put("second")
+        log.append(("put-second", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(3.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert ("put-first", 0.0) in log
+    assert ("got", "first", 3.0) in log
+    assert ("put-second", 3.0) in log
+
+
+def test_store_len_tracks_items():
+    sim = Simulation()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    sim.run()
+    assert len(store) == 2
+
+
+def test_store_capacity_validation():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+def test_container_initial_level():
+    sim = Simulation()
+    box = Container(sim, capacity=10.0, initial=4.0)
+    assert box.level == 4.0
+
+
+def test_container_get_blocks_until_enough():
+    sim = Simulation()
+    box = Container(sim, capacity=10.0)
+
+    def consumer(sim):
+        yield box.get(5.0)
+        return sim.now
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        yield box.put(3.0)
+        yield sim.timeout(1.0)
+        yield box.put(3.0)
+
+    consumer_proc = sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    assert sim.run_until_complete(consumer_proc) == 2.0
+    assert box.level == pytest.approx(1.0)
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulation()
+    box = Container(sim, capacity=5.0, initial=5.0)
+
+    def producer(sim):
+        yield box.put(2.0)
+        return sim.now
+
+    def consumer(sim):
+        yield sim.timeout(4.0)
+        yield box.get(3.0)
+
+    producer_proc = sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    assert sim.run_until_complete(producer_proc) == 4.0
+
+
+def test_container_rejects_negative_amounts():
+    sim = Simulation()
+    box = Container(sim, capacity=5.0)
+    with pytest.raises(SimulationError):
+        box.put(-1.0)
+    with pytest.raises(SimulationError):
+        box.get(-1.0)
+
+
+def test_container_initial_validation():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=1.0, initial=2.0)

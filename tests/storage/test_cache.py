@@ -1,0 +1,112 @@
+"""Unit and property tests for the LRU block cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import BlockCache, StorageError
+
+
+def test_empty_cache_misses():
+    cache = BlockCache(10 * 65536)
+    assert not cache.lookup("f", 0)
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_insert_then_hit():
+    cache = BlockCache(10 * 65536)
+    cache.insert("f", 3)
+    assert cache.lookup("f", 3)
+    assert cache.hits == 1
+
+
+def test_capacity_eviction_is_lru():
+    cache = BlockCache(2 * 65536)
+    cache.insert("f", 0)
+    cache.insert("f", 1)
+    cache.lookup("f", 0)        # make block 0 most recent
+    evicted = cache.insert("f", 2)
+    assert evicted == ("f", 1)  # block 1 was least recently used
+    assert cache.contains("f", 0)
+    assert not cache.contains("f", 1)
+
+
+def test_zero_capacity_disables_caching():
+    cache = BlockCache(0)
+    assert cache.insert("f", 0) is None
+    assert not cache.lookup("f", 0)
+
+
+def test_reinsert_does_not_evict():
+    cache = BlockCache(2 * 65536)
+    cache.insert("f", 0)
+    cache.insert("f", 1)
+    evicted = cache.insert("f", 0)  # already resident
+    assert evicted is None
+    assert cache.size_blocks == 2
+
+
+def test_invalidate_file_drops_only_that_file():
+    cache = BlockCache(10 * 65536)
+    cache.insert("a", 0)
+    cache.insert("a", 1)
+    cache.insert("b", 0)
+    assert cache.invalidate_file("a") == 2
+    assert not cache.contains("a", 0)
+    assert cache.contains("b", 0)
+
+
+def test_contains_does_not_touch_counters():
+    cache = BlockCache(10 * 65536)
+    cache.insert("f", 0)
+    cache.contains("f", 0)
+    cache.contains("f", 99)
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_hit_ratio():
+    cache = BlockCache(10 * 65536)
+    cache.insert("f", 0)
+    cache.lookup("f", 0)
+    cache.lookup("f", 1)
+    assert cache.hit_ratio == pytest.approx(0.5)
+
+
+def test_clear_preserves_counters():
+    cache = BlockCache(10 * 65536)
+    cache.insert("f", 0)
+    cache.lookup("f", 0)
+    cache.clear()
+    assert cache.size_blocks == 0
+    assert cache.hits == 1
+
+
+def test_invalid_parameters():
+    with pytest.raises(StorageError):
+        BlockCache(-1)
+    with pytest.raises(StorageError):
+        BlockCache(100, block_size=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["insert", "lookup"]),
+                              st.integers(min_value=0, max_value=20)),
+                    max_size=100),
+       capacity_blocks=st.integers(min_value=1, max_value=8))
+def test_property_size_never_exceeds_capacity(ops, capacity_blocks):
+    cache = BlockCache(capacity_blocks * 64, block_size=64)
+    for op, block in ops:
+        if op == "insert":
+            cache.insert("f", block)
+        else:
+            cache.lookup("f", block)
+        assert cache.size_blocks <= capacity_blocks
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=100),
+                       min_size=1, max_size=50))
+def test_property_recently_inserted_block_is_resident(blocks):
+    cache = BlockCache(4 * 64, block_size=64)
+    for block in blocks:
+        cache.insert("f", block)
+        assert cache.contains("f", block)

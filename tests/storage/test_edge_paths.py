@@ -1,0 +1,196 @@
+"""Edge-path tests across the storage stack."""
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.hardware import Disk
+from repro.simulation import Simulation
+from repro.storage import (
+    FileStager,
+    LocalFileSystem,
+    NfsClient,
+    NfsServer,
+    PvfsProxy,
+    StorageError,
+)
+from tests.support import run
+
+
+def local_fs(sim, **kwargs):
+    kwargs.setdefault("cache_bytes", 16 * 1024 * 1024)
+    return LocalFileSystem(sim, Disk(sim), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# FileSystem interface behaviours
+# ---------------------------------------------------------------------------
+
+def test_read_file_reads_everything():
+    sim = Simulation()
+    fs = local_fs(sim)
+    fs.create("whole", 200_000)
+    run(sim, fs.read_file("whole"))
+    # Everything is now cached: a repeat costs no disk traffic.
+    before = fs.disk.bytes_read
+    run(sim, fs.read_file("whole"))
+    assert fs.disk.bytes_read == before
+
+
+def test_zero_byte_read_and_write():
+    sim = Simulation()
+    fs = local_fs(sim)
+    fs.create("f", 100)
+    run(sim, fs.read("f", 0, 0))
+    run(sim, fs.write("f", 0, 0))
+    assert fs.size("f") == 100
+
+
+def test_create_negative_size_rejected():
+    sim = Simulation()
+    fs = local_fs(sim)
+    with pytest.raises(StorageError):
+        fs.create("bad", -1)
+
+
+# ---------------------------------------------------------------------------
+# NFS edge paths
+# ---------------------------------------------------------------------------
+
+def nfs_pair(sim):
+    net = Network.single_lan(sim, ["client", "server"])
+    engine = FlowEngine(sim, net)
+    server_fs = LocalFileSystem(sim, Disk(sim), cache_bytes=1024 ** 3)
+    server = NfsServer(sim, "server", server_fs, engine)
+    mount = NfsClient(sim, "client", engine).mount(server)
+    return server_fs, server, mount
+
+
+def test_nfs_zero_byte_operations():
+    sim = Simulation()
+    server_fs, server, mount = nfs_pair(sim)
+    server_fs.create("f", 100)
+    run(sim, mount.read("f", 0, 0))
+    run(sim, mount.write("f", 0, 0))
+    assert server.rpc_count == 0
+
+
+def test_nfs_read_past_end_rejected():
+    sim = Simulation()
+    server_fs, _server, mount = nfs_pair(sim)
+    server_fs.create("f", 10)
+    with pytest.raises(StorageError):
+        run(sim, mount.read("f", 0, 100))
+
+
+def test_nfs_create_via_mount():
+    sim = Simulation()
+    server_fs, _server, mount = nfs_pair(sim)
+    mount.create("new", 5000)
+    assert server_fs.exists("new")
+    assert mount.size("new") == 5000
+
+
+def test_nfs_final_partial_chunk_clamped():
+    """A file not aligned to the chunk size reads correctly."""
+    sim = Simulation()
+    server_fs, server, mount = nfs_pair(sim)
+    odd = 32768 + 1000
+    server_fs.create("odd", odd)
+    run(sim, mount.read("odd", 0, odd))
+    assert server.rpc_count == 2
+
+
+# ---------------------------------------------------------------------------
+# PVFS proxy edge paths
+# ---------------------------------------------------------------------------
+
+def test_proxy_listdir_merges_buffered_names():
+    sim = Simulation()
+    fs = local_fs(sim)
+    fs.create("base-file", 100)
+    proxy = PvfsProxy(sim, fs, cache_bytes=1024 ** 2)
+    run(sim, proxy.write("buffered-only", 0, 100))
+    names = proxy.listdir()
+    assert "base-file" in names
+    assert "buffered-only" in names
+    assert proxy.exists("buffered-only")
+
+
+def test_proxy_delete_clears_cache_and_buffer():
+    sim = Simulation()
+    fs = local_fs(sim)
+    fs.create("doomed", 65536)
+    proxy = PvfsProxy(sim, fs, cache_bytes=1024 ** 2)
+    run(sim, proxy.read("doomed", 0, 65536))
+    run(sim, proxy.write("doomed", 0, 100))
+    proxy.delete("doomed")
+    assert not proxy.exists("doomed")
+    assert not fs.exists("doomed")
+
+
+def test_proxy_create_forwards():
+    sim = Simulation()
+    fs = local_fs(sim)
+    proxy = PvfsProxy(sim, fs, cache_bytes=0)
+    proxy.create("fresh", 4096)
+    assert fs.exists("fresh")
+
+
+def test_proxy_sync_empty_is_noop():
+    sim = Simulation()
+    fs = local_fs(sim)
+    proxy = PvfsProxy(sim, fs, cache_bytes=1024 ** 2)
+
+    def syncer(sim):
+        flushed = yield from proxy.sync()
+        return flushed
+
+    assert run(sim, syncer(sim)) == 0
+
+
+def test_proxy_negative_prefetch_rejected():
+    sim = Simulation()
+    fs = local_fs(sim)
+    with pytest.raises(StorageError):
+        PvfsProxy(sim, fs, prefetch_blocks=-1)
+
+
+def test_proxy_prefetch_stops_at_eof():
+    sim = Simulation()
+    fs = local_fs(sim)
+    fs.create("tiny", 65536)  # one block
+    proxy = PvfsProxy(sim, fs, cache_bytes=1024 ** 2, prefetch_blocks=8)
+    run(sim, proxy.read("tiny", 0, 65536))
+    sim.run()
+    assert proxy.prefetch_issued == 0  # nothing beyond EOF to fetch
+
+
+# ---------------------------------------------------------------------------
+# Stager edge paths
+# ---------------------------------------------------------------------------
+
+def test_stager_validation():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["a", "b"])
+    engine = FlowEngine(sim, net)
+    with pytest.raises(StorageError):
+        FileStager(sim, engine, chunk_bytes=0)
+    with pytest.raises(StorageError):
+        FileStager(sim, engine, pipeline_depth=0)
+
+
+def test_stager_same_host_copy():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["a"])
+    engine = FlowEngine(sim, net)
+    src = local_fs(sim)
+    dst = local_fs(sim)
+    stager = FileStager(sim, engine, handshake_time=0.0)
+    src.create("f", 3 * 1024 * 1024)
+
+    def mover(sim):
+        moved = yield from stager.stage(src, "a", "f", dst, "a")
+        return moved
+
+    assert run(sim, mover(sim)) >= 3 * 1024 * 1024
+    assert dst.exists("f")

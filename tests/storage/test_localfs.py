@@ -1,0 +1,208 @@
+"""Unit tests for the local file system (DiskFS)."""
+
+import pytest
+
+from repro.hardware import Disk
+from repro.simulation import Simulation
+from repro.storage import FileNotFound, LocalFileSystem, StorageError
+from repro.storage.base import block_span
+
+
+def make_fs(sim, cache_bytes=16 * 1024 * 1024, seek=0.004, rate=20e6):
+    disk = Disk(sim, seek_time=seek, transfer_rate=rate)
+    return LocalFileSystem(sim, disk, cache_bytes=cache_bytes), disk
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+# ---------------------------------------------------------------------------
+# block_span helper
+# ---------------------------------------------------------------------------
+
+def test_block_span_basic():
+    assert block_span(0, 100, 64) == [0, 1]
+    assert block_span(64, 64, 64) == [1]
+    assert block_span(63, 2, 64) == [0, 1]
+    assert block_span(0, 0, 64) == []
+
+
+def test_block_span_validates():
+    with pytest.raises(StorageError):
+        block_span(-1, 10, 64)
+
+
+# ---------------------------------------------------------------------------
+# metadata
+# ---------------------------------------------------------------------------
+
+def test_create_and_stat():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    fs.create("image.vmdk", 1_000_000)
+    assert fs.exists("image.vmdk")
+    assert fs.size("image.vmdk") == 1_000_000
+    assert fs.listdir() == ["image.vmdk"]
+
+
+def test_missing_file_raises():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    with pytest.raises(FileNotFound):
+        fs.size("ghost")
+
+
+def test_delete_removes_file_and_cache():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    fs.create("f", 65536)
+    run(sim, fs.read("f", 0, 65536))
+    fs.delete("f")
+    assert not fs.exists("f")
+    assert fs.cache.size_blocks == 0
+
+
+# ---------------------------------------------------------------------------
+# read path
+# ---------------------------------------------------------------------------
+
+def test_cold_sequential_read_pays_one_seek_plus_stream():
+    sim = Simulation()
+    fs, disk = make_fs(sim, seek=0.01, rate=10e6)
+    fs.create("f", 10_000_000)
+
+    def reader(sim):
+        yield from fs.read("f", 0, 10_000_000)
+        return sim.now
+
+    # ~160 blocks in one miss run: one seek + 1s streaming (block rounding).
+    elapsed = run(sim, reader(sim))
+    expected_bytes = len(block_span(0, 10_000_000, fs.block_size)) \
+        * fs.block_size
+    assert elapsed == pytest.approx(0.01 + expected_bytes / 10e6)
+
+
+def test_warm_read_skips_disk():
+    sim = Simulation()
+    fs, disk = make_fs(sim)
+    fs.create("f", 65536 * 4)
+    run(sim, fs.read("f", 0, 65536 * 4))
+    before = disk.bytes_read
+
+    def reader(sim):
+        start = sim.now
+        yield from fs.read("f", 0, 65536 * 4)
+        return sim.now - start
+
+    elapsed = run(sim, reader(sim))
+    assert disk.bytes_read == before          # no disk traffic
+    assert elapsed < 1e-3                     # microseconds of cache cost
+
+
+def test_read_past_end_rejected():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    fs.create("f", 100)
+    with pytest.raises(StorageError):
+        run(sim, fs.read("f", 0, 200))
+
+
+def test_scattered_reads_pay_seek_each():
+    sim = Simulation()
+    fs, _disk = make_fs(sim, seek=0.01, rate=1e9)
+    fs.create("f", 65536 * 100)
+
+    def reader(sim):
+        # Ten isolated single-block reads, far apart: ten seeks.
+        for i in range(0, 100, 10):
+            yield from fs.read("f", i * 65536, 65536, sequential=False)
+        return sim.now
+
+    elapsed = run(sim, reader(sim))
+    assert elapsed == pytest.approx(10 * 0.01, rel=0.05)
+
+
+def test_partially_cached_read_splits_runs():
+    sim = Simulation()
+    fs, disk = make_fs(sim)
+    fs.create("f", 65536 * 3)
+    # Warm the middle block only.
+    run(sim, fs.read("f", 65536, 65536))
+    reads_before = disk.bytes_read
+    run(sim, fs.read("f", 0, 65536 * 3))
+    # Only blocks 0 and 2 hit the disk.
+    assert disk.bytes_read - reads_before == 2 * 65536
+
+
+# ---------------------------------------------------------------------------
+# write path
+# ---------------------------------------------------------------------------
+
+def test_write_extends_file():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    run(sim, fs.write("new", 0, 1000))
+    assert fs.size("new") == 1000
+    run(sim, fs.write("new", 1000, 500))
+    assert fs.size("new") == 1500
+
+
+def test_write_takes_disk_time():
+    sim = Simulation()
+    fs, _disk = make_fs(sim, seek=0.0, rate=10e6)
+
+    def writer(sim):
+        yield from fs.write("f", 0, 10_000_000)
+        return sim.now
+
+    elapsed = run(sim, writer(sim))
+    expected_bytes = len(block_span(0, 10_000_000, fs.block_size)) \
+        * fs.block_size
+    assert elapsed == pytest.approx(expected_bytes / 10e6)
+
+
+def test_written_blocks_are_cached():
+    sim = Simulation()
+    fs, disk = make_fs(sim)
+    run(sim, fs.write("f", 0, 65536 * 2))
+    before = disk.bytes_read
+    run(sim, fs.read("f", 0, 65536 * 2))
+    assert disk.bytes_read == before
+
+
+# ---------------------------------------------------------------------------
+# copy (Table 2 persistent mode)
+# ---------------------------------------------------------------------------
+
+def test_copy_duplicates_size_and_costs_double_transfer():
+    sim = Simulation()
+    fs, disk = make_fs(sim, seek=0.0, rate=10e6, cache_bytes=0)
+
+    def copier(sim):
+        yield from fs.copy("src", "dst")
+        return sim.now
+
+    fs.create("src", 50_000_000)
+    elapsed = run(sim, copier(sim))
+    assert fs.size("dst") == 50_000_000
+    # Read 50 MB + write 50 MB at 10 MB/s = ~10s.
+    assert elapsed == pytest.approx(10.0, rel=0.02)
+
+
+def test_copy_leaves_destination_tail_warm():
+    sim = Simulation()
+    # Cache holds 8 MB; copy 32 MB: the tail should be resident.
+    fs, _disk = make_fs(sim, cache_bytes=8 * 1024 * 1024)
+    fs.create("src", 32 * 1024 * 1024)
+    run(sim, fs.copy("src", "dst"))
+    assert 0.0 < fs.warm_fraction("dst") < 0.5
+    # Reading the warm tail is much cheaper than the cold head.
+    assert fs.cache.size_bytes == 8 * 1024 * 1024
+
+
+def test_warm_fraction_empty_file():
+    sim = Simulation()
+    fs, _disk = make_fs(sim)
+    fs.create("empty", 0)
+    assert fs.warm_fraction("empty") == 1.0

@@ -1,0 +1,165 @@
+"""Unit tests for the NFS client/server and loopback mounts."""
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.hardware import Disk
+from repro.simulation import Simulation
+from repro.storage import LocalFileSystem, NfsClient, NfsServer
+
+
+def build(sim, wan=False, server_rate=100e6, rpc_overhead=1e-3,
+          per_byte=0.0, client_cache=64 * 1024 * 1024):
+    if wan:
+        net = Network.two_site_wan(sim, "a", ["client"], "b", ["server"],
+                                   wan_latency=0.015, wan_bandwidth=2.5e6)
+    else:
+        net = Network.single_lan(sim, ["client", "server"])
+    engine = FlowEngine(sim, net)
+    disk = Disk(sim, seek_time=0.0, transfer_rate=server_rate)
+    server_fs = LocalFileSystem(sim, disk, cache_bytes=1024 * 1024 * 1024)
+    server = NfsServer(sim, "server", server_fs, engine,
+                       rpc_overhead=rpc_overhead, per_byte_cost=per_byte)
+    client = NfsClient(sim, "client", engine, cache_bytes=client_cache)
+    mount = client.mount(server)
+    return net, engine, server_fs, server, mount
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+def test_mount_sees_server_files():
+    sim = Simulation()
+    _net, _engine, server_fs, _server, mount = build(sim)
+    server_fs.create("data.bin", 1000)
+    assert mount.exists("data.bin")
+    assert mount.size("data.bin") == 1000
+    assert mount.listdir() == ["data.bin"]
+    assert not mount.loopback
+
+
+def test_loopback_mount_detected():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["host"])
+    engine = FlowEngine(sim, net)
+    disk = Disk(sim)
+    fs = LocalFileSystem(sim, disk)
+    server = NfsServer(sim, "host", fs, engine)
+    mount = NfsClient(sim, "host", engine).mount(server)
+    assert mount.loopback
+
+
+def test_read_charges_rpc_overhead_per_chunk():
+    sim = Simulation()
+    _net, _engine, server_fs, server, mount = build(sim, rpc_overhead=1e-3,
+                                                    server_rate=1e12)
+    server_fs.create("f", 32768 * 10)
+
+    def reader(sim):
+        yield from mount.read("f", 0, 32768 * 10)
+        return sim.now
+
+    elapsed = run(sim, reader(sim))
+    assert server.rpc_count == 10
+    # Ten chunk RPCs at 1 ms each dominate on a fast LAN.
+    assert elapsed >= 10 * 1e-3
+
+
+def test_per_byte_cost_charged():
+    sim = Simulation()
+    _net, _engine, server_fs, _server, mount = build(
+        sim, rpc_overhead=0.0, per_byte=1e-6, server_rate=1e12)
+    server_fs.create("f", 32768)
+
+    def reader(sim):
+        yield from mount.read("f", 0, 32768)
+        return sim.now
+
+    elapsed = run(sim, reader(sim))
+    assert elapsed >= 32768 * 1e-6
+
+
+def test_client_cache_absorbs_repeat_reads():
+    sim = Simulation()
+    _net, _engine, server_fs, server, mount = build(sim)
+    server_fs.create("f", 32768 * 4)
+    run(sim, mount.read("f", 0, 32768 * 4))
+    rpcs = server.rpc_count
+    run(sim, mount.read("f", 0, 32768 * 4))
+    assert server.rpc_count == rpcs  # warm: no new RPCs
+
+
+def test_wan_read_slower_than_lan():
+    def elapsed_for(wan):
+        sim = Simulation()
+        _net, _engine, server_fs, _server, mount = build(sim, wan=wan)
+        server_fs.create("f", 32768 * 64)
+
+        def reader(sim):
+            yield from mount.read("f", 0, 32768 * 64)
+            return sim.now
+
+        return run(sim, reader(sim))
+
+    assert elapsed_for(True) > 3 * elapsed_for(False)
+
+
+def test_wan_transfer_paced_by_bottleneck():
+    sim = Simulation()
+    _net, _engine, server_fs, _server, mount = build(sim, wan=True,
+                                                     rpc_overhead=0.0)
+    nbytes = 32768 * 64  # 2 MiB
+    server_fs.create("f", nbytes)
+
+    def reader(sim):
+        yield from mount.read("f", 0, nbytes)
+        return sim.now
+
+    elapsed = run(sim, reader(sim))
+    # 2 MiB over a 2.5 MB/s WAN bottleneck is at least ~0.84 s.
+    assert elapsed >= nbytes / 2.5e6
+
+
+def test_write_pushes_bytes_to_server():
+    sim = Simulation()
+    _net, _engine, server_fs, server, mount = build(sim)
+
+    def writer(sim):
+        yield from mount.write("out", 0, 32768 * 3)
+
+    run(sim, writer(sim))
+    assert server_fs.size("out") == 32768 * 3
+    assert server.rpc_count == 3
+
+
+def test_delete_invalidates_client_cache():
+    sim = Simulation()
+    _net, _engine, server_fs, server, mount = build(sim)
+    server_fs.create("f", 32768)
+    run(sim, mount.read("f", 0, 32768))
+    mount.delete("f")
+    assert not mount.exists("f")
+    server_fs.create("f", 32768)
+    rpcs = server.rpc_count
+    run(sim, mount.read("f", 0, 32768))
+    assert server.rpc_count == rpcs + 1  # cache was invalidated
+
+
+def test_loopback_skips_network_but_pays_stack():
+    sim = Simulation()
+    net = Network.single_lan(sim, ["host"])
+    engine = FlowEngine(sim, net)
+    disk = Disk(sim, seek_time=0.0, transfer_rate=1e12)
+    fs = LocalFileSystem(sim, disk, cache_bytes=1024 * 1024 * 1024)
+    server = NfsServer(sim, "host", fs, engine, rpc_overhead=1e-3,
+                       per_byte_cost=0.0)
+    mount = NfsClient(sim, "host", engine).mount(server)
+    fs.create("f", 32768 * 5)
+
+    def reader(sim):
+        yield from mount.read("f", 0, 32768 * 5)
+        return sim.now
+
+    elapsed = run(sim, reader(sim))
+    assert elapsed == pytest.approx(5e-3, abs=1e-3)

@@ -1,0 +1,222 @@
+"""Unit tests for the PVFS proxy and the whole-file stager."""
+
+import pytest
+
+from repro.gridnet import FlowEngine, Network
+from repro.hardware import Disk
+from repro.simulation import Simulation
+from repro.storage import (
+    FileStager,
+    LocalFileSystem,
+    NfsClient,
+    NfsServer,
+    PvfsProxy,
+)
+
+
+def wan_fixture(sim, prefetch=0, proxy_cache=512 * 1024 * 1024):
+    net = Network.two_site_wan(sim, "uf", ["compute"], "nw", ["image"],
+                               wan_latency=0.015, wan_bandwidth=2.5e6)
+    engine = FlowEngine(sim, net)
+    disk = Disk(sim, seek_time=0.0, transfer_rate=100e6)
+    server_fs = LocalFileSystem(sim, disk, cache_bytes=1024 ** 3)
+    server = NfsServer(sim, "image", server_fs, engine)
+    mount = NfsClient(sim, "compute", engine,
+                      cache_bytes=0).mount(server)
+    proxy = PvfsProxy(sim, mount, cache_bytes=proxy_cache,
+                      prefetch_blocks=prefetch)
+    return net, engine, server_fs, server, mount, proxy
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+# ---------------------------------------------------------------------------
+# PVFS proxy
+# ---------------------------------------------------------------------------
+
+def test_proxy_forwards_misses():
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(sim)
+    server_fs.create("image", 32768 * 8)
+    run(sim, proxy.read("image", 0, 32768 * 8))
+    assert server.rpc_count == 8
+
+
+def test_proxy_cache_absorbs_repeats():
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(sim)
+    server_fs.create("image", 32768 * 8)
+    run(sim, proxy.read("image", 0, 32768 * 8))
+    rpcs = server.rpc_count
+
+    def second(sim):
+        start = sim.now
+        yield from proxy.read("image", 0, 32768 * 8)
+        return sim.now - start
+
+    elapsed = run(sim, second(sim))
+    assert server.rpc_count == rpcs       # all hits
+    assert elapsed < 1e-2                 # local proxy service only
+
+
+def test_proxy_shares_image_across_readers():
+    """Figure 2: a master Linux disk shared by multiple dynamic instances."""
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(sim)
+    server_fs.create("rh72-master", 32768 * 64)
+
+    durations = []
+
+    def reader(sim, durations=durations):
+        start = sim.now
+        yield from proxy.read("rh72-master", 0, 32768 * 64)
+        durations.append(sim.now - start)
+
+    run(sim, reader(sim))   # first user: cold
+    run(sim, reader(sim))   # second user: proxy-warm
+    assert durations[1] < durations[0] / 10
+
+
+def test_proxy_prefetch_warms_ahead():
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(sim,
+                                                               prefetch=16)
+    server_fs.create("image", 32768 * 64)
+    run(sim, proxy.read("image", 0, 32768 * 4))
+    assert proxy.prefetch_issued > 0
+    sim.run()  # let background prefetch finish
+    # The next 16 blocks are already resident.
+    assert proxy.cache.contains((proxy.name, "image"), 5)
+
+
+def test_proxy_prefetch_disabled_by_default_zero():
+    sim = Simulation()
+    _net, _eng, server_fs, _server, _mount, proxy = wan_fixture(sim,
+                                                                prefetch=0)
+    server_fs.create("image", 32768 * 64)
+    run(sim, proxy.read("image", 0, 32768 * 4))
+    assert proxy.prefetch_issued == 0
+
+
+def test_proxy_write_buffering_and_sync():
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(sim)
+    server_fs.create("results", 0)
+
+    def writer(sim):
+        start = sim.now
+        yield from proxy.write("results", 0, 32768 * 16)
+        return sim.now - start
+
+    elapsed = run(sim, writer(sim))
+    assert elapsed < 1e-2                    # absorbed locally
+    assert proxy.buffered_bytes == 32768 * 16
+    assert server_fs.size("results") == 0    # not yet flushed
+
+    def syncer(sim):
+        flushed = yield from proxy.sync()
+        return flushed
+
+    flushed = run(sim, syncer(sim))
+    assert flushed == 32768 * 16
+    assert server_fs.size("results") == 32768 * 16
+    assert proxy.buffered_bytes == 0
+
+
+def test_proxy_size_accounts_for_buffered_writes():
+    sim = Simulation()
+    _net, _eng, server_fs, _server, _mount, proxy = wan_fixture(sim)
+    server_fs.create("f", 100)
+    run(sim, proxy.write("f", 0, 32768 * 2))
+    assert proxy.size("f") == 32768 * 2
+
+
+def test_proxy_zero_cache_always_forwards():
+    sim = Simulation()
+    _net, _eng, server_fs, server, _mount, proxy = wan_fixture(
+        sim, proxy_cache=0)
+    server_fs.create("image", 32768 * 4)
+    run(sim, proxy.read("image", 0, 32768 * 4))
+    first = server.rpc_count
+    run(sim, proxy.read("image", 0, 32768 * 4))
+    assert server.rpc_count == 2 * first
+
+
+# ---------------------------------------------------------------------------
+# FileStager (GridFTP-style baseline)
+# ---------------------------------------------------------------------------
+
+def stager_fixture(sim, wan_bandwidth=2.5e6):
+    net = Network.two_site_wan(sim, "uf", ["dst"], "nw", ["src"],
+                               wan_bandwidth=wan_bandwidth)
+    engine = FlowEngine(sim, net)
+    src_fs = LocalFileSystem(sim, Disk(sim, seek_time=0.0,
+                                       transfer_rate=100e6),
+                             cache_bytes=0)
+    dst_fs = LocalFileSystem(sim, Disk(sim, seek_time=0.0,
+                                       transfer_rate=100e6),
+                             cache_bytes=0)
+    stager = FileStager(sim, engine, handshake_time=0.0)
+    return net, src_fs, dst_fs, stager
+
+
+def test_stager_moves_whole_file():
+    sim = Simulation()
+    _net, src_fs, dst_fs, stager = stager_fixture(sim)
+    src_fs.create("image", 5 * 1024 * 1024)
+
+    def mover(sim):
+        total = yield from stager.stage(src_fs, "src", "image",
+                                        dst_fs, "dst")
+        return total
+
+    total = run(sim, mover(sim))
+    assert total >= 5 * 1024 * 1024
+    assert dst_fs.size("image") >= 5 * 1024 * 1024
+
+
+def test_stager_throughput_set_by_bottleneck():
+    sim = Simulation()
+    _net, src_fs, dst_fs, stager = stager_fixture(sim, wan_bandwidth=1e6)
+    size = 10 * 1024 * 1024
+    src_fs.create("image", size)
+
+    def mover(sim):
+        start = sim.now
+        yield from stager.stage(src_fs, "src", "image", dst_fs, "dst")
+        return sim.now - start
+
+    elapsed = run(sim, mover(sim))
+    # Pipelined: close to size / bottleneck, far below 3x (store-and-forward).
+    assert elapsed >= size / 1e6
+    assert elapsed < 1.5 * size / 1e6
+
+
+def test_stager_zero_byte_file():
+    sim = Simulation()
+    _net, src_fs, dst_fs, stager = stager_fixture(sim)
+    src_fs.create("empty", 0)
+
+    def mover(sim):
+        total = yield from stager.stage(src_fs, "src", "empty",
+                                        dst_fs, "dst")
+        return total
+
+    assert run(sim, mover(sim)) == 0
+    assert dst_fs.exists("empty")
+
+
+def test_stager_renames_destination():
+    sim = Simulation()
+    _net, src_fs, dst_fs, stager = stager_fixture(sim)
+    src_fs.create("a", 1024 * 1024)
+
+    def mover(sim):
+        yield from stager.stage(src_fs, "src", "a", dst_fs, "dst",
+                                dst_name="b")
+
+    run(sim, mover(sim))
+    assert dst_fs.exists("b")
+    assert not dst_fs.exists("a")

@@ -1,0 +1,81 @@
+"""Shared fixtures/builders for the test suite."""
+
+from repro.guestos import GuestOsProfile, OperatingSystem, PhysicalHost
+from repro.hardware import MachineSpec, PhysicalMachine
+from repro.simulation import Simulation
+from repro.vmm import DiskImage, VirtualMachineMonitor, VmConfig
+
+#: A small, fast boot profile for tests (full-size boots live in benches).
+TINY_GUEST = GuestOsProfile(
+    kernel_read_bytes=2 * 1024 * 1024,
+    scattered_reads=80,
+    scattered_read_bytes=32 * 1024,
+    boot_cpu_user=0.5,
+    boot_cpu_sys=0.5,
+    boot_jitter=0.0,
+    boot_footprint_bytes=64 * 1024 * 1024,
+)
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+def physical_rig(sim: Simulation, name: str = "host1", cores: int = 2,
+                 disk_rate: float = 20e6, cache_bytes: float = 256 * MB):
+    """A physical machine with an attached host interface + root FS."""
+    spec = MachineSpec(cores=cores, disk_transfer_rate=disk_rate)
+    machine = PhysicalMachine(sim, name, spec=spec)
+    host = PhysicalHost(machine, cache_bytes=cache_bytes)
+    return machine, host
+
+
+def booted_host_os(sim: Simulation, host) -> OperatingSystem:
+    """A host operating system, mounted on the host root FS and 'booted'."""
+    os = OperatingSystem(host, name="host-linux")
+    os.mount("/", host.root_fs)
+    os.mark_booted()
+    return os
+
+
+def vm_rig(sim: Simulation, host=None, image_size: int = 1 * GB,
+           disk_mode: str = "nonpersistent", vm_name: str = "vm1",
+           memory_mb: int = 128, profile: GuestOsProfile = TINY_GUEST):
+    """A VMM on a host plus one defined VM over a local image."""
+    if host is None:
+        _machine, host = physical_rig(sim)
+    vmm = VirtualMachineMonitor(host)
+    image = DiskImage(host.root_fs, "rh72.img", image_size, create=True)
+    config = VmConfig(vm_name, memory_mb=memory_mb, guest_profile=profile)
+    vm = vmm.create_vm(config, image, disk_mode=disk_mode)
+    return vmm, image, vm
+
+
+def run(sim: Simulation, generator):
+    """Spawn a generator and run the simulation to its completion."""
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+def demo_grid(seed: int = 0, image_size: int = 1 * GB,
+              warm_state_mb: int = 128):
+    """A two-site grid: compute at 'uf', image + data servers at 'nw'."""
+    from repro.core import VirtualGrid
+
+    grid = VirtualGrid(seed=seed)
+    grid.add_site("uf")
+    grid.add_site("nw")
+    grid.add_compute_host("compute1", site="uf")
+    grid.add_image_server("images1", site="nw")
+    grid.publish_image("images1", "rh72", image_size,
+                       warm_state_mb=warm_state_mb)
+    grid.add_data_server("data1", site="nw")
+    grid.add_user("ana")
+    return grid
+
+
+def tiny_session_config(**overrides):
+    """A SessionConfig using the fast test guest profile."""
+    from repro.middleware import SessionConfig
+
+    defaults = dict(user="ana", image="rh72", guest_profile=TINY_GUEST)
+    defaults.update(overrides)
+    return SessionConfig(**defaults)

@@ -1,0 +1,49 @@
+"""Tests for the VMM cost presets (Section 2.3's optimization story)."""
+
+import pytest
+
+from repro.simulation import Simulation
+from repro.vmm import VmmCosts
+from repro.workloads import Application, ComputePhase, KernelEventRates
+from tests.support import run, vm_rig
+
+
+def test_presets_ordering():
+    base = VmmCosts.workstation_3_0a()
+    fast = VmmCosts.optimized()
+    slow = VmmCosts.naive()
+    assert fast.pagefault_trap < base.pagefault_trap < slow.pagefault_trap
+    assert fast.sys_dilation < base.sys_dilation < slow.sys_dilation
+    assert fast.world_switch < base.world_switch < slow.world_switch
+    # Start costs are about process mechanics, not emulation: unchanged.
+    assert fast.start_seconds == base.start_seconds
+
+
+def test_presets_validate():
+    # All presets satisfy the dataclass invariants (sys_dilation >= 1).
+    for preset in (VmmCosts.workstation_3_0a(), VmmCosts.optimized(),
+                   VmmCosts.naive()):
+        assert preset.sys_dilation >= 1.0
+
+
+def overhead_with(costs):
+    from repro.vmm import VirtualMachineMonitor
+    sim = Simulation()
+    vmm, _image, vm = vm_rig(sim)
+    # Swap the cost model before power-on.
+    vm.costs = costs
+    vmm.costs = costs
+    run(sim, vmm.power_on(vm, mode="boot"))
+    rates = KernelEventRates(syscalls_per_sec=100.0,
+                             pagefaults_per_sec=1000.0)
+    app = Application("probe", [ComputePhase(100.0, 1.0, rates)])
+    result = run(sim, vm.guest_os.run_application(app))
+    return result.cpu_time / 101.0 - 1.0
+
+
+def test_optimized_vmm_halves_overhead_or_better():
+    base = overhead_with(VmmCosts.workstation_3_0a())
+    optimized = overhead_with(VmmCosts.optimized())
+    naive = overhead_with(VmmCosts.naive())
+    assert optimized < base / 2
+    assert naive > 2 * base

@@ -1,0 +1,107 @@
+"""Unit tests for the application model and SPEC-like workloads."""
+
+import pytest
+
+from repro.simulation import SimulationError
+from repro.workloads import (
+    Application,
+    ComputePhase,
+    IoPhase,
+    KernelEventRates,
+    micro_test_task,
+    spec_climate,
+    spec_seis,
+    synthetic_compute,
+)
+
+
+def test_kernel_event_rates_validation():
+    with pytest.raises(SimulationError):
+        KernelEventRates(syscalls_per_sec=-1)
+    with pytest.raises(SimulationError):
+        KernelEventRates(pagefaults_per_sec=-1)
+
+
+def test_compute_phase_validation():
+    with pytest.raises(SimulationError):
+        ComputePhase(-1.0)
+    with pytest.raises(SimulationError):
+        ComputePhase(1.0, sys_seconds=-1.0)
+
+
+def test_io_phase_validation():
+    with pytest.raises(SimulationError):
+        IoPhase("/x", -1)
+
+
+def test_application_needs_phases():
+    with pytest.raises(SimulationError):
+        Application("empty", [])
+
+
+def test_application_totals():
+    app = Application("t", [
+        ComputePhase(10.0, 2.0),
+        IoPhase("/a", 100),
+        ComputePhase(5.0, 1.0),
+        IoPhase("/b", 200, write=True),
+    ])
+    assert app.total_user_seconds == pytest.approx(15.0)
+    assert app.total_sys_seconds == pytest.approx(3.0)
+    assert app.total_io_bytes == 300
+
+
+def test_spec_seis_matches_paper_profile():
+    app = spec_seis()
+    assert app.total_user_seconds == pytest.approx(16395.0)
+    assert app.total_sys_seconds == pytest.approx(19.0)
+    assert app.input_files  # has a trace deck
+
+
+def test_spec_climate_matches_paper_profile():
+    app = spec_climate()
+    assert app.total_user_seconds == pytest.approx(9304.0)
+    assert app.total_sys_seconds == pytest.approx(3.0)
+
+
+def test_spec_climate_faults_more_than_seis():
+    """The 4% vs 1% VM dilation difference comes from fault rates."""
+    seis_rate = max(p.rates.pagefaults_per_sec for p in spec_seis().phases
+                    if isinstance(p, ComputePhase))
+    climate_rate = max(p.rates.pagefaults_per_sec
+                       for p in spec_climate().phases
+                       if isinstance(p, ComputePhase))
+    assert climate_rate > 4 * seis_rate
+
+
+def test_scale_preserves_ratios():
+    full = spec_seis(1.0)
+    tiny = spec_seis(0.01)
+    assert tiny.total_user_seconds == pytest.approx(
+        full.total_user_seconds * 0.01)
+    ratio_full = full.total_sys_seconds / full.total_user_seconds
+    ratio_tiny = tiny.total_sys_seconds / tiny.total_user_seconds
+    assert ratio_full == pytest.approx(ratio_tiny)
+
+
+def test_scale_validation():
+    with pytest.raises(SimulationError):
+        spec_seis(0.0)
+    with pytest.raises(SimulationError):
+        spec_climate(-1.0)
+
+
+def test_synthetic_compute():
+    app = synthetic_compute(3.0)
+    assert app.total_user_seconds == pytest.approx(3.0)
+    assert app.total_io_bytes == 0
+    with pytest.raises(SimulationError):
+        synthetic_compute(0.0)
+
+
+def test_micro_test_task_is_compute_bound():
+    app = micro_test_task(2.0)
+    assert app.total_user_seconds == pytest.approx(2.0)
+    assert app.total_sys_seconds == 0.0
+    with pytest.raises(SimulationError):
+        micro_test_task(0.0)

@@ -1,0 +1,136 @@
+"""Unit tests for host-load traces and playback."""
+
+import random
+
+import pytest
+
+from repro.simulation import Simulation, SimulationError
+from repro.workloads import HostLoadTrace, LoadPlayback, synthetic_compute
+from tests.support import booted_host_os, physical_rig, run
+
+
+# ---------------------------------------------------------------------------
+# HostLoadTrace
+# ---------------------------------------------------------------------------
+
+def test_trace_basics():
+    trace = HostLoadTrace([0.5, 1.0, 0.0], interval=2.0)
+    assert len(trace) == 3
+    assert trace.duration == 6.0
+    assert trace.mean == pytest.approx(0.5)
+
+
+def test_trace_validation():
+    with pytest.raises(SimulationError):
+        HostLoadTrace([1.0], interval=0.0)
+    with pytest.raises(SimulationError):
+        HostLoadTrace([-0.1])
+
+
+def test_value_at_wraps():
+    trace = HostLoadTrace([1.0, 2.0], interval=1.0)
+    assert trace.value_at(0.5) == 1.0
+    assert trace.value_at(1.5) == 2.0
+    assert trace.value_at(2.5) == 1.0  # wraps around
+
+
+def test_none_trace_is_idle():
+    trace = HostLoadTrace.none()
+    assert trace.mean == 0.0
+
+
+def test_synthetic_trace_hits_target_mean():
+    rng = random.Random(7)
+    trace = HostLoadTrace.synthetic(1.0, rng, length=5000)
+    assert trace.mean == pytest.approx(1.0, rel=0.25)
+    assert all(v >= 0 for v in trace.values)
+
+
+def test_synthetic_trace_is_autocorrelated():
+    rng = random.Random(7)
+    trace = HostLoadTrace.synthetic(1.0, rng, length=3000,
+                                    autocorrelation=0.9)
+    values = trace.values
+    mean = trace.mean
+    num = sum((a - mean) * (b - mean)
+              for a, b in zip(values, values[1:]))
+    den = sum((v - mean) ** 2 for v in values)
+    assert num / den > 0.5  # strong lag-1 autocorrelation
+
+
+def test_light_lighter_than_heavy():
+    rng1, rng2 = random.Random(1), random.Random(1)
+    light = HostLoadTrace.light(rng1, length=2000)
+    heavy = HostLoadTrace.heavy(rng2, length=2000)
+    assert heavy.mean > 3 * light.mean
+
+
+def test_synthetic_validation():
+    rng = random.Random(0)
+    with pytest.raises(SimulationError):
+        HostLoadTrace.synthetic(-1.0, rng)
+    with pytest.raises(SimulationError):
+        HostLoadTrace.synthetic(1.0, rng, autocorrelation=1.0)
+
+
+# ---------------------------------------------------------------------------
+# LoadPlayback
+# ---------------------------------------------------------------------------
+
+def test_playback_injects_expected_work():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, cores=4)
+    os = booted_host_os(sim, host)
+    trace = HostLoadTrace([1.0] * 10, interval=1.0)
+    playback = LoadPlayback(os, trace)
+    injected = run(sim, playback.run(10.0))
+    assert injected == pytest.approx(10.0)
+    sim.run()  # drain remaining bursts
+    # The machine actually consumed that CPU.
+    consumed = sum(r.user_time for r in os.results)
+    assert consumed == pytest.approx(10.0, rel=0.01)
+
+
+def test_playback_zero_load_spawns_nothing():
+    sim = Simulation()
+    _machine, host = physical_rig(sim)
+    os = booted_host_os(sim, host)
+    playback = LoadPlayback(os, HostLoadTrace.none(length=5))
+    injected = run(sim, playback.run(5.0))
+    assert injected == 0.0
+    assert os.results == []
+
+
+def test_playback_fractional_load_single_burst_per_interval():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, cores=2)
+    os = booted_host_os(sim, host)
+    playback = LoadPlayback(os, HostLoadTrace([0.5] * 4, interval=1.0))
+    run(sim, playback.run(4.0))
+    sim.run()
+    assert len(os.results) == 4
+
+
+def test_playback_heavy_load_multiple_bursts():
+    sim = Simulation()
+    _machine, host = physical_rig(sim, cores=4)
+    os = booted_host_os(sim, host)
+    playback = LoadPlayback(os, HostLoadTrace([2.5] * 2, interval=1.0))
+    run(sim, playback.run(2.0))
+    sim.run()
+    # ceil(2.5) = 3 bursts per interval.
+    assert len(os.results) == 6
+
+
+def test_playback_slows_down_competing_task():
+    def task_time(load):
+        sim = Simulation()
+        _machine, host = physical_rig(sim, cores=1)
+        os = booted_host_os(sim, host)
+        playback = LoadPlayback(os, HostLoadTrace([load] * 300,
+                                                  interval=1.0))
+        sim.spawn(playback.run(300.0))
+        result = run(sim, os.run_application(synthetic_compute(20.0)))
+        return result.wall_time
+
+    assert task_time(1.0) > 1.5 * task_time(0.0)
