@@ -1,0 +1,19 @@
+# Development entry points.  `make check` is the CI gate: the simlint
+# static-analysis pass over src/ (non-zero exit on any finding) followed
+# by the tier-1 test suite.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test experiments
+
+check: lint test
+
+lint:
+	$(PYTHON) -m repro.analysis src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+experiments:
+	$(PYTHON) -m repro all

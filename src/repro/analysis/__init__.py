@@ -1,0 +1,41 @@
+"""simlint: determinism & sim-correctness static analysis for the DES stack.
+
+The repo's scientific claim — that it reproduces the paper's figures —
+only holds if every simulation run is bit-for-bit reproducible and the
+event kernel is used correctly.  ``repro.analysis`` is an AST-based
+static-analysis framework ("simlint") that enforces exactly that:
+
+* every random draw must come from a named
+  :class:`~repro.simulation.randomness.RandomStreams` stream,
+* simulated time must never leak to (or from) the wall clock,
+* event scheduling must not depend on hash ordering,
+* events must not be silently lost.
+
+Run it as ``python -m repro.analysis src/repro`` or through the main
+CLI as ``python -m repro analyze``.  Rules are plugins; see
+:mod:`repro.analysis.rules` for the built-in set and
+``docs/static_analysis.md`` for how to write new ones.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    Analyzer,
+    Finding,
+    Rule,
+    RuleContext,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.rules import default_rules, register
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "analyze_paths",
+    "analyze_source",
+    "default_rules",
+    "register",
+]

@@ -1,0 +1,116 @@
+"""The simlint command line.
+
+Usage::
+
+    python -m repro.analysis [PATH ...] [--format text|json]
+                             [--select R1,R4] [--disable R3]
+                             [--list-rules]
+
+Exit status: 0 when the tree is clean, 1 when findings were reported,
+2 on usage errors — so CI can gate on it directly (see ``make check``).
+With no paths, the installed ``repro`` package itself is linted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.core import Analyzer, Finding
+from repro.analysis.rules import default_rules
+
+__all__ = ["build_parser", "main", "run_analysis"]
+
+
+def _default_target() -> str:
+    """The repro package directory (lint ourselves by default)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="simlint: determinism & sim-correctness static "
+                    "analysis for the DES stack.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule codes/names to run "
+                             "exclusively")
+    parser.add_argument("--disable", default=None, metavar="RULES",
+                        help="comma-separated rule codes/names to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the active rule set and exit")
+    return parser
+
+
+def _pick_rules(select: Optional[str], disable: Optional[str]):
+    rules = default_rules()
+    if select:
+        wanted = {token.strip().lower() for token in select.split(",")
+                  if token.strip()}
+        rules = [r for r in rules
+                 if {r.code.lower(), r.name.lower()} & wanted]
+    if disable:
+        dropped = {token.strip().lower() for token in disable.split(",")
+                   if token.strip()}
+        rules = [r for r in rules
+                 if not ({r.code.lower(), r.name.lower()} & dropped)]
+    return rules
+
+
+def run_analysis(paths: List[str], rules=None) -> List[Finding]:
+    """Lint ``paths`` (or the repro package when empty)."""
+    return Analyzer(rules).analyze_paths(paths or [_default_target()])
+
+
+def _render_text(findings: List[Finding], stream) -> None:
+    for finding in findings:
+        print(finding.format(), file=stream)
+    noun = "finding" if len(findings) == 1 else "findings"
+    print("simlint: %d %s" % (len(findings), noun), file=stream)
+
+
+def _render_json(findings: List[Finding], stream) -> None:
+    json.dump({"findings": [f.to_dict() for f in findings],
+               "count": len(findings)}, stream, indent=2)
+    print(file=stream)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    rules = _pick_rules(args.select, args.disable)
+    if args.list_rules:
+        for rule in rules:
+            doc = (sys.modules[type(rule).__module__].__doc__ or "")
+            headline = doc.strip().splitlines()[0] if doc.strip() else ""
+            print("%s  %-16s %s" % (rule.code, rule.name, headline))
+        return 0
+    if not rules:
+        print("simlint: no rules selected", file=sys.stderr)
+        return 2
+    try:
+        findings = run_analysis(args.paths, rules)
+    except OSError as exc:
+        print("simlint: cannot read %s: %s"
+              % (exc.filename or "path", exc.strerror or exc),
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _render_json(findings, sys.stdout)
+    else:
+        _render_text(findings, sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

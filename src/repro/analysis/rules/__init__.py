@@ -1,0 +1,62 @@
+"""Built-in simlint rules and the plugin registry.
+
+A rule registers itself with the :func:`register` decorator::
+
+    from repro.analysis.core import Rule
+    from repro.analysis.rules import register
+
+    @register
+    class MyRule(Rule):
+        code = "R9"
+        name = "my-rule"
+        ...
+
+Importing this package imports every built-in rule module, which fills
+the registry as a side effect; third-party extensions import and call
+:func:`register` themselves before constructing an
+:class:`~repro.analysis.core.Analyzer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.analysis.core import Rule
+
+__all__ = ["register", "default_rules", "registered_rule_classes"]
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a Rule subclass to the default rule set."""
+    if not (isinstance(rule_class, type) and issubclass(rule_class, Rule)):
+        raise TypeError("register() expects a Rule subclass, got %r"
+                        % (rule_class,))
+    if any(existing.code == rule_class.code for existing in _REGISTRY):
+        raise ValueError("duplicate rule code %s" % rule_class.code)
+    _REGISTRY.append(rule_class)
+    return rule_class
+
+
+def registered_rule_classes() -> List[Type[Rule]]:
+    """The registered classes, sorted by code."""
+    return sorted(_REGISTRY, key=lambda cls: cls.code)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in registered_rule_classes()]
+
+
+# Importing the built-in rule modules populates the registry.
+from repro.analysis.rules import (  # noqa: E402,F401  (import for effect)
+    blocking,
+    events,
+    floateq,
+    heapkeys,
+    mutables,
+    ordering,
+    randomness,
+    wallclock,
+)

@@ -9,8 +9,11 @@ Usage::
     python -m repro overlay
     python -m repro migration
     python -m repro all
+    python -m repro analyze [--path SRC ...] [--json]
 
-Each command prints the same tables the benchmark harness archives.
+Each experiment command prints the same tables the benchmark harness
+archives; ``analyze`` runs the simlint static-analysis pass (see
+``docs/static_analysis.md``) and exits non-zero on findings.
 """
 
 from __future__ import annotations
@@ -121,6 +124,15 @@ def _cmd_migration(args) -> None:
         title="M1: migration"))
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis.cli import main as simlint_main
+
+    argv = list(args.path or [])
+    if args.json:
+        argv.append("--format=json")
+    return simlint_main(argv)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -128,6 +140,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "overlay": _cmd_overlay,
     "migration": _cmd_migration,
+    "analyze": _cmd_analyze,
 }
 
 
@@ -146,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="table1: application scale factor")
     parser.add_argument("--samples", type=int, default=None,
                         help="table2/figure1: sample count")
+    parser.add_argument("--path", action="append", default=None,
+                        help="analyze: file/directory to lint (repeatable; "
+                             "default: the installed repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="analyze: emit findings as JSON")
     return parser
 
 
@@ -161,9 +179,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.samples = 150
             _COMMANDS[name](args)
             print()
-    else:
-        _COMMANDS[args.command](args)
-    return 0
+        return 0
+    return _COMMANDS[args.command](args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,7 +52,7 @@ class VirtualGrid:
 
     def __init__(self, sim: Optional[Simulation] = None, seed: int = 0,
                  costs: Optional[VmmCosts] = None):
-        self.sim = sim or Simulation()
+        self.sim = sim or Simulation(seed=seed)
         self.streams = RandomStreams(seed)
         self.costs = costs or VmmCosts()
         self.network = Network(self.sim, name="grid-net")

@@ -16,7 +16,7 @@ fluid transfer, plus half an RTT for the final byte to propagate.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.gridnet.topology import Link, Network
 from repro.simulation.kernel import Event, Simulation, SimulationError
@@ -141,17 +141,22 @@ class FlowEngine:
     # -- max-min allocation ----------------------------------------------------
 
     def _allocate(self) -> Dict[Flow, float]:
-        """Progressive-filling max-min fair rates for all active flows."""
+        """Progressive-filling max-min fair rates for all active flows.
+
+        Dicts stand in for sets throughout so every iteration follows
+        flow-submission order: bottleneck and cap tie-breaks are then
+        reproducible run to run (object sets would order by address).
+        """
         rates: Dict[Flow, float] = {}
-        unfixed: Set[Flow] = set(self._active)
+        unfixed: Dict[Flow, None] = dict.fromkeys(self._active)
         if not unfixed:
             return rates
         remaining_cap: Dict[Link, float] = {}
-        link_flows: Dict[Link, Set[Flow]] = {}
+        link_flows: Dict[Link, Dict[Flow, None]] = {}
         for flow in unfixed:
             for link in flow.links:
                 remaining_cap.setdefault(link, link.bandwidth)
-                link_flows.setdefault(link, set()).add(flow)
+                link_flows.setdefault(link, {})[flow] = None
 
         # Flows with an explicit cap tighter than any fair share are pinned
         # first by treating the cap as a single-flow virtual link.
@@ -160,7 +165,7 @@ class FlowEngine:
             bottleneck_share = math.inf
             bottleneck_link: Optional[Link] = None
             for link, flows in link_flows.items():
-                live = flows & unfixed
+                live = [f for f in flows if f in unfixed]
                 if not live:
                     continue
                 share = remaining_cap[link] / len(live)
@@ -182,10 +187,11 @@ class FlowEngine:
             if flow is not None:
                 fixed = [flow]
             else:
-                fixed = list(link_flows[bottleneck_link] & unfixed)
+                fixed = [f for f in link_flows[bottleneck_link]
+                         if f in unfixed]
             for f in fixed:
                 rates[f] = rate
-                unfixed.discard(f)
+                unfixed.pop(f, None)
                 for link in f.links:
                     remaining_cap[link] = max(0.0, remaining_cap[link] - rate)
         return rates

@@ -74,7 +74,8 @@ class OperatingSystem:
         self.iface = iface
         self.name = name
         self.profile = profile or GuestOsProfile()
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else self.sim.streams.stream("os/" + iface.name)
         self._mounts: Dict[str, FileSystem] = {}
         self.booted = False
         self.boot_duration: Optional[float] = None

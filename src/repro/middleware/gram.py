@@ -63,7 +63,8 @@ class GramGateway:
         self.auth_time = float(auth_time)
         self.jobmanager_start = float(jobmanager_start)
         self.poll_interval = float(poll_interval)
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else sim.streams.stream("gram/" + resource_name)
         self.jobs_dispatched = 0
 
     def submit(self, body: Generator, name: str = "job"):

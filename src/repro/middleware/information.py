@@ -77,7 +77,8 @@ class InformationService:
             raise SimulationError("query latency must be non-negative")
         self.sim = sim
         self.query_latency = float(query_latency)
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else sim.streams.stream("information")
         self._tables: Dict[str, List[Dict[str, Any]]] = {
             table: [] for table in self.TABLES}
 

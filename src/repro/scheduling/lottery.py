@@ -34,7 +34,8 @@ class LotteryScheduler:
         self.cpu = cpu
         self.tickets = dict(tickets)
         self.quantum = float(quantum)
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else self.sim.streams.stream("lottery")
         self.wins: Dict[TaskGroup, int] = {g: 0 for g in tickets}
         self.draws = 0
         self._proc: Optional[Process] = None

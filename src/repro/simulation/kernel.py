@@ -300,11 +300,27 @@ class Simulation:
     _PRIORITY_HIGH = 1     # process initialization
     _PRIORITY_NORMAL = 2   # ordinary events
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, seed: int = 0):
         self.now = float(start_time)
+        self.seed = int(seed)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._next_id = 0
         self._active_process: Optional[Process] = None
+        self._streams = None
+
+    @property
+    def streams(self):
+        """The simulation-owned RNG stream registry (lazily created).
+
+        Components that are not handed an explicit ``rng`` derive their
+        default stream from here, so a simulation's draws are a pure
+        function of its ``seed`` — never of a hard-coded literal.
+        """
+        if self._streams is None:
+            from repro.simulation.randomness import RandomStreams
+
+            self._streams = RandomStreams(self.seed)
+        return self._streams
 
     # -- event factories ---------------------------------------------------
 

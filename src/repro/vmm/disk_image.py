@@ -87,7 +87,8 @@ class VirtualDisk:
         self.mode = mode
         self.diff_fs = diff_fs
         self.diff_name = name + ".diff"
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else sim.streams.stream("vdisk/" + name)
         self.remote_cpu_per_byte = float(remote_cpu_per_byte)
         self.block_size = 65536
         self._written: Set[int] = set()

@@ -63,12 +63,13 @@ class VirtualMachineMonitor:
                 "%s cannot admit %s: %d+%d MB exceeds the %d MB guest "
                 "budget" % (self.name, config.name, resident,
                             config.memory_mb, budget))
+        if rng is None:
+            rng = self.sim.streams.stream("vm/" + config.name)
         vdisk = VirtualDisk(self.sim, config.name, base_image,
                             mode=disk_mode, diff_fs=self.host.root_fs,
-                            rng=rng or random.Random(0),
+                            rng=rng,
                             remote_cpu_per_byte=remote_cpu_per_byte)
-        vm = VirtualMachine(self, config, vdisk,
-                            rng=rng or random.Random(0), owner=owner)
+        vm = VirtualMachine(self, config, vdisk, rng=rng, owner=owner)
         self.vms.append(vm)
         return vm
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.guestos.costs import OsCosts
 from repro.guestos.interface import MachineInterface
@@ -85,7 +85,8 @@ class VirtualMachine(MachineInterface):
         self.os_costs = OsCosts()
         self.state = VmState.DEFINED
         self.vdisk = vdisk
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None \
+            else self.sim.streams.stream("vm/" + config.name)
         self.group = TaskGroup(
             config.name,
             vcpus=config.vcpus,
@@ -111,7 +112,9 @@ class VirtualMachine(MachineInterface):
         #: into the next process accounting.
         self._pending_sys = 0.0
         #: Processes currently executing guest compute (crash targets).
-        self._computations: set = set()
+        #: Dict-as-ordered-set: crash() interrupts them in submission
+        #: order, keeping the event queue reproducible.
+        self._computations: Dict = {}
 
     # -- MachineInterface -------------------------------------------------------
 
@@ -157,7 +160,7 @@ class VirtualMachine(MachineInterface):
         remaining = user_obs + sys_obs
         me = self.sim.active_process
         if me is not None:
-            self._computations.add(me)
+            self._computations[me] = None
         try:
             while remaining > 1e-12:
                 cpu = self.host_cpu
@@ -181,7 +184,7 @@ class VirtualMachine(MachineInterface):
                     remaining = cpu.cancel(task)
         finally:
             if me is not None:
-                self._computations.discard(me)
+                self._computations.pop(me, None)
         return (user_obs, sys_obs)
 
     def io_sys_seconds(self, nbytes: int, operations: int) -> float:
