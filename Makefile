@@ -1,19 +1,31 @@
 # Development entry points.  `make check` is the CI gate: the simlint
-# static-analysis pass over src/ (non-zero exit on any finding) followed
-# by the tier-1 test suite.
+# static-analysis pass over src/ (non-zero exit on any finding), the
+# tier-1 test suite, and the observability smoke test (trace
+# determinism + null-tracer overhead guard).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test experiments
+.PHONY: check lint test trace-smoke experiments
 
-check: lint test
+check: lint test trace-smoke
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Trace the table2 scenario twice at the same seed: the exported
+# Chrome-trace JSON must be byte-identical, and the null tracer must
+# not tax the kernel hot path (tests/obs holds the pytest versions).
+trace-smoke:
+	$(PYTHON) -m repro trace table2 --seed 42 --out .trace-smoke-a.json
+	$(PYTHON) -m repro trace table2 --seed 42 --out .trace-smoke-b.json
+	cmp .trace-smoke-a.json .trace-smoke-b.json
+	rm -f .trace-smoke-a.json .trace-smoke-b.json
+	$(PYTHON) -m pytest -x -q tests/obs/test_overhead_guard.py \
+	    tests/obs/test_trace_determinism.py
 
 experiments:
 	$(PYTHON) -m repro all

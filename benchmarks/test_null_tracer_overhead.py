@@ -1,0 +1,84 @@
+"""Null-tracer overhead: the hot path must stay within ~5% of baseline.
+
+Compares the instrumented kernel (tracer guards in ``_enqueue_event``
+and ``step``, null tracer attached) against a subclass with the guards
+stripped back out, over a pure event-churn workload.  Uses interleaved
+min-of-N timing: the minimum over many alternating rounds cancels both
+one-off scheduler noise and slow clock drift, which a mean cannot.
+
+Run with ``pytest benchmarks/test_null_tracer_overhead.py -v``.
+"""
+
+import heapq
+import timeit
+
+from repro.core.reporting import format_table
+from repro.simulation import Simulation
+from repro.simulation.kernel import SimulationError
+
+#: Acceptance bound from the observability issue: ≤5% hot-path cost.
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 30
+PROCESSES = 50
+HOPS = 400
+
+
+class BaselineSimulation(Simulation):
+    """The kernel hot path with the tracer guards stripped back out."""
+
+    def _enqueue_event(self, event, delay=0.0,
+                       priority=Simulation._PRIORITY_NORMAL):
+        heapq.heappush(self._queue,
+                       (self.now + delay, priority, self._next_id, event))
+        self._next_id += 1
+
+    def step(self):
+        if not self._queue:
+            raise SimulationError("no events to step")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self.now = when
+        event._process()
+        if event._ok is False and not getattr(event, "_defused", False):
+            raise event._value
+
+
+def churn(sim_class):
+    sim = sim_class()
+
+    def worker(sim, i):
+        for _hop in range(HOPS):
+            yield sim.timeout(1e-3 * (i + 1))
+
+    for i in range(PROCESSES):
+        sim.spawn(worker(sim, i), name="churn-%d" % i)
+    sim.run()
+    return sim.now
+
+
+def test_null_tracer_overhead_within_bound(report):
+    assert churn(Simulation) == churn(BaselineSimulation)
+
+    instrumented = []
+    baseline = []
+    for _round in range(ROUNDS):
+        baseline.append(timeit.timeit(
+            lambda: churn(BaselineSimulation), number=1))
+        instrumented.append(timeit.timeit(
+            lambda: churn(Simulation), number=1))
+
+    best_base = min(baseline)
+    best_inst = min(instrumented)
+    overhead = best_inst / best_base - 1.0
+    events = PROCESSES * HOPS
+    report(format_table(
+        ["Kernel", "Best(s)", "Events/s", "Overhead"],
+        [["baseline (no guards)", "%.4f" % best_base,
+          "%.0f" % (events / best_base), "-"],
+         ["instrumented + null tracer", "%.4f" % best_inst,
+          "%.0f" % (events / best_inst), "%.2f%%" % (100 * overhead)]],
+        title="Null-tracer hot-path overhead (min of %d rounds)"
+              % ROUNDS))
+    assert overhead <= MAX_OVERHEAD, \
+        "null tracer costs %.1f%% (> %.0f%%)" % (100 * overhead,
+                                                 100 * MAX_OVERHEAD)

@@ -7,7 +7,7 @@ A rule registers itself with the :func:`register` decorator::
 
     @register
     class MyRule(Rule):
-        code = "R9"
+        code = "R10"
         name = "my-rule"
         ...
 
@@ -57,6 +57,7 @@ from repro.analysis.rules import (  # noqa: E402,F401  (import for effect)
     heapkeys,
     mutables,
     ordering,
+    printing,
     randomness,
     wallclock,
 )

@@ -10,10 +10,16 @@ Usage::
     python -m repro migration
     python -m repro all
     python -m repro analyze [--path SRC ...] [--json]
+    python -m repro trace {figure1,table1,table2} [--out trace.json]
+    python -m repro metrics {figure1,table1,table2} [--json]
 
 Each experiment command prints the same tables the benchmark harness
 archives; ``analyze`` runs the simlint static-analysis pass (see
-``docs/static_analysis.md``) and exits non-zero on findings.
+``docs/static_analysis.md``) and exits non-zero on findings.  ``trace``
+replays a representative session life cycle for an experiment and
+writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
+``metrics`` prints the metrics registry after the same run.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -124,6 +130,42 @@ def _cmd_migration(args) -> None:
         title="M1: migration"))
 
 
+def _require_target(args) -> str:
+    from repro.obs.runner import SCENARIOS
+
+    if args.target is None:
+        print("error: %s needs an experiment target (one of: %s)"
+              % (args.command, ", ".join(SCENARIOS)), file=sys.stderr)
+        raise SystemExit(2)
+    if args.target not in SCENARIOS:
+        print("error: unknown experiment %r (one of: %s)"
+              % (args.target, ", ".join(SCENARIOS)), file=sys.stderr)
+        raise SystemExit(2)
+    return args.target
+
+
+def _cmd_trace(args) -> None:
+    from repro.obs.runner import trace_experiment
+
+    target = _require_target(args)
+    out = args.out or "%s-trace.json" % target
+    sim, count = trace_experiment(target, out, seed=args.seed)
+    print("wrote %s: %d trace events, %.2f simulated seconds"
+          % (out, count, sim.now))
+
+
+def _cmd_metrics(args) -> None:
+    from repro.obs.runner import run_scenario
+
+    target = _require_target(args)
+    sim = run_scenario(target, seed=args.seed)
+    if args.json:
+        print(sim.metrics.to_json())
+    else:
+        print(sim.metrics.to_table(
+            title="Metrics: %s (seed %d)" % (target, args.seed)))
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis.cli import main as simlint_main
 
@@ -141,6 +183,8 @@ _COMMANDS = {
     "overlay": _cmd_overlay,
     "migration": _cmd_migration,
     "analyze": _cmd_analyze,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -153,8 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command",
                         choices=sorted(_COMMANDS) + ["all"],
                         help="which artifact to regenerate")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="trace/metrics: which experiment scenario "
+                             "(figure1, table1 or table2)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--out", default=None,
+                        help="trace: output file "
+                             "(default <target>-trace.json)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="table1: application scale factor")
     parser.add_argument("--samples", type=int, default=None,

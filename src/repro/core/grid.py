@@ -264,9 +264,10 @@ class VirtualGrid:
         """A six-step session; drive it with ``session.establish()``."""
         return GridSession(self, config)
 
-    def run(self, generator):
+    def run(self, generator, name: str = ""):
         """Convenience: spawn a process and run the clock to completion."""
-        return self.sim.run_until_complete(self.sim.spawn(generator))
+        return self.sim.run_until_complete(self.sim.spawn(generator,
+                                                          name=name))
 
     def __repr__(self) -> str:
         return ("<VirtualGrid sites=%d hosts=%d images=%d>"

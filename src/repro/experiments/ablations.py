@@ -130,7 +130,8 @@ def run_proxy_cache_ablation(instantiations: int = 4,
 
         for index in range(instantiations):
             times.append(sim.run_until_complete(
-                sim.spawn(one(sim, index))))
+                sim.spawn(one(sim, index),
+                          name="ablation.proxycache.%d" % index)))
         results.append(ProxyCacheResult(cache_on, times))
     return results
 
@@ -273,7 +274,7 @@ def run_staging_ablation(fractions: Sequence[float] = (
             return sim.now
 
         on_demand_time = sim.run_until_complete(
-            sim.spawn(on_demand(sim)))
+            sim.spawn(on_demand(sim), name="ablation.ondemand"))
 
         # Strategy 2: stage the whole file, then read locally.
         sim, _net, engine, host, image_host = world()
@@ -287,7 +288,8 @@ def run_staging_ablation(fractions: Sequence[float] = (
                                          sequential=True)
             return sim.now
 
-        staged_time = sim.run_until_complete(sim.spawn(staged(sim)))
+        staged_time = sim.run_until_complete(
+            sim.spawn(staged(sim), name="ablation.staged"))
         points.append(StagingPoint(fraction, on_demand_time, staged_time))
     return points
 

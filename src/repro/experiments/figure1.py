@@ -91,7 +91,8 @@ def _boot_vm(sim, vmm, streams, name: str):
     config = VmConfig(name, memory_mb=GUEST_MEMORY_MB,
                       guest_profile=guest_profile())
     vm = vmm.create_vm(config, base, rng=streams.stream("vm/" + name))
-    sim.run_until_complete(sim.spawn(vmm.power_on(vm, mode="boot")))
+    sim.run_until_complete(sim.spawn(vmm.power_on(vm, mode="boot"),
+                                     name="figure1.boot." + name))
     return vm
 
 
@@ -121,7 +122,7 @@ def _scenario(load_level: str, test_on: str, load_on: str, samples: int,
     trace = _make_trace(load_level, streams,
                         length=int(horizon) + 10)
     playback = LoadPlayback(load_os, trace)
-    sim.spawn(playback.run(horizon))
+    sim.spawn(playback.run(horizon), name="figure1.loadplayback")
 
     stats = StatAccumulator()
     slowdowns: List[float] = []
@@ -133,7 +134,7 @@ def _scenario(load_level: str, test_on: str, load_on: str, samples: int,
             slowdowns.append(result.wall_time / test_seconds)
         return slowdowns
 
-    sim.run_until_complete(sim.spawn(sampler(sim)))
+    sim.run_until_complete(sim.spawn(sampler(sim), name="figure1.sampler"))
     stats.extend(slowdowns)
     return stats.mean, stats.stdev, slowdowns
 

@@ -72,7 +72,8 @@ def _run_once(seed: int, app_seconds: float,
     grid.run(session.establish())
     start = grid.sim.now
     app_proc = grid.sim.spawn(
-        session.run_application(synthetic_compute(app_seconds)))
+        session.run_application(synthetic_compute(app_seconds)),
+        name="migration.application")
 
     downtime = None
     migrated_at = None

@@ -79,7 +79,8 @@ def run_overlay_experiment(members: int = 6, trials: int = 8,
         rng = streams.stream("overlay-trial-%d" % trial)
         sim, _net, overlay, hosts = _random_world(rng, members,
                                                   penalty_probability)
-        sim.run_until_complete(sim.spawn(overlay.measure()))
+        sim.run_until_complete(sim.spawn(overlay.measure(),
+                                         name="overlay.measure"))
         pairs = 0
         improved = 0
         direct_total = 0.0

@@ -57,7 +57,8 @@ def _build_grid(seed: int, busy_load: float) -> VirtualGrid:
     os.mount("/", host.root_fs)
     os.mark_booted()
     trace = HostLoadTrace([busy_load] * 100000, interval=1.0)
-    grid.sim.spawn(LoadPlayback(os, trace).run(100000.0))
+    grid.sim.spawn(LoadPlayback(os, trace).run(100000.0),
+                   name="placement.loadplayback")
     return grid
 
 

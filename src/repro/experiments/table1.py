@@ -85,7 +85,8 @@ def macro_run(app_factory: Callable[[], Application], resource: str,
         host_os.mount("/", host.root_fs)
         host_os.mark_booted()
         return sim.run_until_complete(
-            sim.spawn(host_os.run_application(app)))
+            sim.spawn(host_os.run_application(app),
+                      name="table1.native." + app.name))
 
     vmm = VirtualMachineMonitor(host, costs=costs or vmm_costs())
     if resource == "vm-localdisk":
@@ -123,7 +124,8 @@ def macro_run(app_factory: Callable[[], Application], resource: str,
         result = yield from vm.guest_os.run_application(app)
         return result
 
-    return sim.run_until_complete(sim.spawn(session(sim)))
+    return sim.run_until_complete(
+        sim.spawn(session(sim), name="table1.%s.%s" % (resource, app.name)))
 
 
 def run_table1(scale: float = 1.0, seed: int = 0) -> List[Table1Row]:

@@ -124,8 +124,9 @@ def startup_sample(start_mode: str, storage_mode: str, seed: int) -> float:
                                 memstate_is_remote=remote)
         return vm
 
-    job = sim.run_until_complete(sim.spawn(gram.submit(body(sim),
-                                                       name="startup")))
+    job = sim.run_until_complete(
+        sim.spawn(gram.submit(body(sim), name="startup"),
+                  name="table2.globusrun"))
     return job.total_time
 
 

@@ -43,6 +43,8 @@ class Flow:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.rate = 0.0
+        #: The tracer span covering the flow's lifetime.
+        self.span = None
 
     def __repr__(self) -> str:
         return "<Flow %s->%s %.0f/%.0fB>" % (self.src, self.dst,
@@ -60,6 +62,10 @@ class FlowEngine:
         self._last_update = sim.now
         self._generation = 0
         self.transfer_time = StatAccumulator("flow.transfer_time")
+        metrics = sim.metrics
+        self._m_started = metrics.counter("net.flows.started")
+        self._m_active = metrics.gauge("net.flows.active")
+        self._m_duration = metrics.histogram("net.flow.duration")
 
     # -- public API ----------------------------------------------------------
 
@@ -74,16 +80,20 @@ class FlowEngine:
         flow = Flow(src, dst, nbytes, links, priority_bandwidth=bandwidth_cap)
         flow.done = Event(self.sim)
         flow.started_at = self.sim.now
+        flow.span = self.sim.trace.begin(
+            "net", "flow %s->%s" % (src, dst),
+            track=("net", "flows"), bytes=float(nbytes))
+        self._m_started.inc()
         self._advance()
         if not links:
             # Loopback transfer: no shared medium, completes instantly
             # (end-host serialization is charged by the NIC, not here).
             flow.remaining = 0.0
         if flow.remaining <= _BYTES_EPSILON:
-            flow.finished_at = self.sim.now
-            flow.done.succeed(flow)
+            self._finish(flow)
         else:
             self._active.append(flow)
+            self._m_active.set(len(self._active))
         self._reschedule()
         return flow
 
@@ -208,14 +218,20 @@ class FlowEngine:
                     0.0, flow.remaining - elapsed * rates.get(flow, 0.0))
         self._last_update = now
 
+    def _finish(self, flow: Flow) -> None:
+        flow.remaining = 0.0
+        flow.finished_at = self.sim.now
+        self.sim.trace.end(flow.span)
+        self._m_duration.observe(flow.finished_at - flow.started_at)
+        flow.done.succeed(flow)
+
     def _reschedule(self) -> None:
-        now = self.sim.now
         finished = [f for f in self._active if f.remaining <= _BYTES_EPSILON]
         for flow in finished:
             self._active.remove(flow)
-            flow.remaining = 0.0
-            flow.finished_at = now
-            flow.done.succeed(flow)
+            self._finish(flow)
+        if finished:
+            self._m_active.set(len(self._active))
         rates = self._allocate()
         for flow, rate in rates.items():
             flow.rate = rate

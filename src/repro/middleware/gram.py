@@ -75,16 +75,22 @@ class GramGateway:
         """
         job = GramJob(name)
         job.submitted_at = self.sim.now
+        span = self.sim.trace.begin(
+            "sched", "gram %s" % name,
+            track=("sched", "gram:%s" % self.resource_name), job=name)
         # GSI authentication: some run-to-run jitter from network/CPU.
         yield self.sim.timeout(self.auth_time
                                * (1.0 + self.rng.uniform(-0.15, 0.15)))
         yield self.sim.timeout(self.jobmanager_start)
         job.started_at = self.sim.now
+        self.sim.metrics.histogram("sched.queue_wait").observe(
+            job.started_at - job.submitted_at)
         job.result = yield from body
         # The jobmanager notices completion at its next poll.
         if self.poll_interval > 0:
             yield self.sim.timeout(self.rng.uniform(0.0, self.poll_interval))
         job.completed_at = self.sim.now
+        self.sim.trace.end(span)
         self.jobs_dispatched += 1
         return job
 

@@ -36,12 +36,21 @@ class GridFtpService:
                  dst_name: Optional[str] = None):
         """Process generator: authenticate, then stage the whole file."""
         start = self.sim.now
+        span = self.sim.trace.begin(
+            "storage", "gridftp %s" % name,
+            track=("storage", "gridftp:%s->%s" % (src_host, dst_host)),
+            src=src_host, dst=dst_host)
         yield self.sim.timeout(self.auth_time)
         moved = yield from self.stager.stage(src_fs, src_host, name,
                                              dst_fs, dst_host,
                                              dst_name=dst_name)
-        self.log.append((src_host, dst_host, name, moved,
-                         self.sim.now - start))
+        self.sim.trace.end(span)
+        elapsed = self.sim.now - start
+        self.log.append((src_host, dst_host, name, moved, elapsed))
+        metrics = self.sim.metrics
+        metrics.counter("storage.gridftp.transfers").inc()
+        metrics.counter("storage.gridftp.bytes").inc(moved)
+        metrics.histogram("storage.gridftp.duration").observe(elapsed)
         return moved
 
     @property

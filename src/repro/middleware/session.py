@@ -79,6 +79,8 @@ class StepRecord:
         self.title = title
         self.started = started
         self.finished: Optional[float] = None
+        #: The tracer span covering the step (a null span when untraced).
+        self.span = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -119,8 +121,19 @@ class GridSession:
 
     def _step(self, index: int, title: str) -> StepRecord:
         record = StepRecord(index, title, self.sim.now)
+        record.span = self.sim.trace.begin(
+            "session", "step %d: %s" % (index, title),
+            track=("session:%s" % self.config.user, "lifecycle"),
+            user=self.config.user, image=self.config.image)
         self.steps.append(record)
         return record
+
+    def _finish(self, record: StepRecord) -> None:
+        record.finished = self.sim.now
+        self.sim.trace.end(record.span)
+        self.sim.metrics.histogram(
+            "session.step%d.duration" % record.index).observe(
+                record.finished - record.started)
 
     @property
     def guest_os(self):
@@ -152,7 +165,7 @@ class GridSession:
         future = futures[0]
         host_name = future["host"]
         self.vmm = grid.vmm_for(host_name)
-        step.finished = self.sim.now
+        self._finish(step)
 
         # Step 2: find the image.
         step = self._step(2, "query image server")
@@ -162,12 +175,12 @@ class GridSession:
             raise SimulationError("image %s not advertised" % config.image)
         image_record = images[0]
         self.image_server = grid.image_server_for(image_record["server"])
-        step.finished = self.sim.now
+        self._finish(step)
 
         # Step 3: data session between P and I.
         step = self._step(3, "image data session (%s)" % config.image_access)
         base_image, memstate, remote_cpu = yield from self._image_session()
-        step.finished = self.sim.now
+        self._finish(step)
 
         # Step 4: GRAM-dispatched VM startup + network attachment.
         step = self._step(4, "globusrun VM startup (%s)" % config.start_mode)
@@ -175,7 +188,7 @@ class GridSession:
         vm_name = config.vm_name or "%s-%s-vm" % (config.user, config.image)
         body = self._startup_body(vm_name, base_image, memstate, remote_cpu)
         self.gram_job = yield from gram.submit(body, name="start-" + vm_name)
-        step.finished = self.sim.now
+        self._finish(step)
 
         # Step 5: guest-side data sessions.
         step = self._step(5, "user data session")
@@ -183,7 +196,7 @@ class GridSession:
             self.user_data_fs = grid.data_server.mount_from(
                 self.vmm.machine.name, config.user)
             self.guest_os.mount("/home/%s" % config.user, self.user_data_fs)
-        step.finished = self.sim.now
+        self._finish(step)
 
         # Bookkeeping: the future is consumed; the VM becomes a resource.
         grid.info.unregister("vm_futures", host=host_name)
@@ -281,7 +294,7 @@ class GridSession:
             raise SimulationError("session is not established")
         step = self._step(6, "execute %s" % app.name)
         result = yield from self.guest_os.run_application(app, pname=pname)
-        step.finished = self.sim.now
+        self._finish(step)
         return result
 
     def migrate_to(self, host_name: str):
@@ -305,7 +318,7 @@ class GridSession:
         downtime = yield from migrate(self.vm, dest_vmm, self.grid.stager,
                                       dest_base, dest_base_is_remote=True)
         self.vmm = dest_vmm
-        step.finished = self.sim.now
+        self._finish(step)
         self.grid.info.unregister("vms", name=self.vm.name)
         self.grid.info.register("vms", self.vm.state_summary())
         return downtime

@@ -1,0 +1,53 @@
+"""Observability: kernel tracing, a metrics registry, Perfetto export.
+
+The paper's feasibility argument is entirely about *where time goes* —
+VMM overhead and the per-step cost of the six-step session life cycle —
+so this package makes the simulated stack observable end to end:
+
+* :mod:`repro.obs.tracer` — the :class:`Tracer` protocol (null by
+  default, zero-cost on the kernel hot path), sim-time spans, and the
+  recording :class:`TraceRecorder`;
+* :mod:`repro.obs.metrics` — a hierarchical :class:`MetricsRegistry`
+  (counters, gauges, histograms) owned by each simulation
+  (``sim.metrics``);
+* :mod:`repro.obs.chrome` — Chrome-trace-event JSON export, loadable
+  in Perfetto / ``chrome://tracing``;
+* :mod:`repro.obs.runner` — traced single-run scenarios behind the
+  ``repro trace`` / ``repro metrics`` CLI commands (imported lazily by
+  the CLI; not re-exported here to keep this package importable from
+  the kernel).
+
+See ``docs/observability.md`` for the protocol, naming conventions and
+a Perfetto walkthrough.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_events,
+    chrome_trace_json,
+    export_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceError,
+    TraceRecorder,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceError",
+    "TraceRecorder",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "export_chrome_trace",
+]

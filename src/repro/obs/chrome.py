@@ -1,0 +1,127 @@
+"""Chrome-trace-event export: open recorded traces in Perfetto.
+
+Converts a :class:`~repro.obs.tracer.TraceRecorder` into the Chrome
+trace-event JSON format (the ``{"traceEvents": [...]}`` flavour), which
+both ``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* one trace *process* per track process label (host, session, layer)
+  and one *thread* row per track thread label (VM, component), named
+  with ``M``-phase metadata events;
+* spans become complete (``X``) events, instants ``i`` events and
+  counter samples ``C`` events;
+* simulated **seconds** map to trace **microseconds** (Chrome's native
+  unit), so one sim-second reads as one second in the UI.
+
+The export is deterministic: pid/tid numbers are assigned in first-seen
+record order, events are sorted by (timestamp, record order), and the
+JSON encoding is fixed — two same-seed runs produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.tracer import TraceRecorder
+
+__all__ = ["chrome_trace_events", "chrome_trace_json",
+           "export_chrome_trace"]
+
+
+def _microseconds(sim_seconds: float) -> int:
+    """Simulated seconds -> integer trace microseconds."""
+    return int(round(sim_seconds * 1e6))
+
+
+class _TrackIds:
+    """First-seen-order pid/tid assignment for (process, thread) tracks."""
+
+    def __init__(self):
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[str, Dict[str, int]] = {}
+
+    def resolve(self, track: Tuple[str, str]) -> Tuple[int, int]:
+        process, thread = track
+        pid = self._pids.setdefault(process, len(self._pids) + 1)
+        threads = self._tids.setdefault(process, {})
+        tid = threads.setdefault(thread, len(threads) + 1)
+        return pid, tid
+
+    def metadata_events(self) -> List[dict]:
+        events = []
+        for process, pid in self._pids.items():
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": process}})
+            for thread, tid in self._tids[process].items():
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": thread}})
+        return events
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> List[dict]:
+    """The trace-event dicts for a recorder (metadata first, then data)."""
+    ids = _TrackIds()
+    data: List[Tuple[int, int, dict]] = []  # (ts, record order, event)
+    order = 0
+
+    for span in recorder.spans:
+        pid, tid = ids.resolve(span.track)
+        start = _microseconds(span.start)
+        end = _microseconds(span.end if span.end is not None
+                            else span.start)
+        event = {"ph": "X", "pid": pid, "tid": tid, "ts": start,
+                 "dur": max(0, end - start), "cat": span.category,
+                 "name": span.name}
+        args = dict(span.args)
+        if span.end is None:
+            args["unfinished"] = True
+        if args:
+            event["args"] = args
+        data.append((start, order, event))
+        order += 1
+
+    for when, name, track, args in recorder.instants:
+        pid, tid = ids.resolve(track)
+        event = {"ph": "i", "pid": pid, "tid": tid,
+                 "ts": _microseconds(when), "s": "t", "name": name}
+        if args:
+            event["args"] = dict(args)
+        data.append((event["ts"], order, event))
+        order += 1
+
+    for when, name, track, value in recorder.counters:
+        pid, tid = ids.resolve(track)
+        event = {"ph": "C", "pid": pid, "tid": tid,
+                 "ts": _microseconds(when), "name": name,
+                 "args": {"value": value}}
+        data.append((event["ts"], order, event))
+        order += 1
+
+    data.sort(key=lambda item: (item[0], item[1]))
+    return ids.metadata_events() + [event for _ts, _i, event in data]
+
+
+def chrome_trace_json(recorder: TraceRecorder) -> str:
+    """The full trace document as a deterministic JSON string."""
+    document = {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "clock": "simulated (1 sim second = 1e6 trace us)",
+            "kernel": dict(sorted(recorder.kernel_stats.items())),
+        },
+    }
+    return json.dumps(document, sort_keys=True, indent=1)
+
+
+def export_chrome_trace(recorder: TraceRecorder, path: str) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    text = chrome_trace_json(recorder)
+    with open(path, "w") as handle:
+        handle.write(text)
+        handle.write("\n")
+    return len(chrome_trace_events(recorder))

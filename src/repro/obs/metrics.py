@@ -1,0 +1,172 @@
+"""A hierarchical metrics registry: counters, gauges, histograms.
+
+Metric names are dotted paths following ``layer.component.metric``
+(``storage.pvfs.cache_hits``, ``vmm.boot.duration``,
+``sched.queue_wait``), so snapshots group naturally by prefix.  Every
+:class:`~repro.simulation.kernel.Simulation` owns one lazily created
+registry (``sim.metrics``); components resolve their metric objects once
+at construction and then update them with plain attribute calls, keeping
+the record path allocation-free.
+
+Snapshots are pure functions of the recorded values: exports sort by
+metric name and use a fixed JSON encoding, so two same-seed runs emit
+byte-identical metrics files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the total (negative increments are rejected)."""
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return "<Counter %s=%.6g>" % (self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time level (last value wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return "<Gauge %s=%r>" % (self.name, self.value)
+
+
+class Histogram:
+    """A distribution of observed samples (count/mean/stdev/min/max)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        # Deferred import: repro.obs is imported by the simulation kernel
+        # module itself, so module-level imports back into repro.simulation
+        # would re-enter a partially initialized package.
+        from repro.simulation.monitor import StatAccumulator
+
+        self.name = name
+        self.acc = StatAccumulator(name)
+
+    def observe(self, value: float) -> None:
+        self.acc.add(value)
+
+    @property
+    def count(self) -> int:
+        return self.acc.count
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.acc.count,
+            "mean": self.acc.mean,
+            "stdev": self.acc.stdev,
+            "min": self.acc.minimum,
+            "max": self.acc.maximum,
+        }
+
+    def __repr__(self) -> str:
+        return "<Histogram %s n=%d>" % (self.name, self.acc.count)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create metric objects by dotted name, plus exports."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(name)
+        elif not isinstance(metric, factory):
+            raise TypeError("metric %s is a %s, not a %s"
+                            % (name, metric.kind, factory.kind))
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram under ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Registered metric names (optionally under a dotted prefix)."""
+        return sorted(name for name in self._metrics
+                      if name.startswith(prefix))
+
+    # -- exports -----------------------------------------------------------
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        """Name -> value mapping, sorted by name, optionally filtered."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names(prefix)}
+
+    def to_json(self, prefix: str = "") -> str:
+        """A deterministic JSON rendering of :meth:`snapshot`."""
+        import json
+
+        return json.dumps(self.snapshot(prefix), sort_keys=True,
+                          indent=2)
+
+    def to_table(self, prefix: str = "", title: str = "Metrics") -> str:
+        """A fixed-width text table of every metric's summary."""
+        # Deferred import (see Histogram.__init__ for why).
+        from repro.core.reporting import format_table
+
+        rows = []
+        for name, snap in self.snapshot(prefix).items():
+            if snap["type"] == "histogram":
+                value = "n=%d mean=%.4g min=%.4g max=%.4g" % (
+                    snap["count"], snap["mean"] or 0.0,
+                    snap["min"] or 0.0, snap["max"] or 0.0)
+            else:
+                value = "%.6g" % snap["value"] \
+                    if snap["value"] is not None else "-"
+            rows.append([name, snap["type"], value])
+        return format_table(["Metric", "Type", "Value"], rows, title=title)
+
+    def __repr__(self) -> str:
+        return "<MetricsRegistry %d metrics>" % len(self._metrics)

@@ -1,0 +1,246 @@
+"""The tracing protocol: sim-time spans, instants, counters, kernel hooks.
+
+A :class:`Tracer` is attached to a :class:`~repro.simulation.kernel.
+Simulation` at construction (``Simulation(tracer=...)``).  The base class
+is the *null tracer*: every hook is a no-op and ``enabled`` is False, so
+the kernel's hot path reduces to one attribute test per hook site.  The
+module-level :data:`NULL_TRACER` singleton is the default for every
+simulation.
+
+:class:`TraceRecorder` is the recording implementation.  It collects
+
+* **spans** — named intervals of simulated time on a *track*
+  (``(process, thread)`` label pair, one trace row per host/VM/process),
+  opened with :meth:`Tracer.begin` and closed with :meth:`Tracer.end`;
+* **instants** — zero-duration marks;
+* **counters** — sampled numeric series;
+* **kernel statistics** — counts of event scheduling/firing, process
+  spawn/resume/interrupt/termination and clock advances, fed by the
+  kernel hooks.
+
+Everything is keyed to ``sim.now`` only — a recorder never reads the
+host clock — so two same-seed runs record byte-identical traces (see
+:mod:`repro.obs.chrome` for the export).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "TraceRecorder",
+           "TraceError"]
+
+#: Default track for spans that do not name one.
+_DEFAULT_TRACK = ("sim", "main")
+
+
+class TraceError(RuntimeError):
+    """Raised for misuse of the tracing layer (e.g. an unbound recorder)."""
+
+
+class Span:
+    """One named interval of simulated time on one track."""
+
+    __slots__ = ("category", "name", "track", "start", "end", "args")
+
+    def __init__(self, category: str, name: str, track: Tuple[str, str],
+                 start: float, args: Dict[str, Any]):
+        self.category = category
+        self.name = name
+        self.track = track
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Simulated seconds covered, or None while the span is open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return "<Span %s/%s [%s..%s]>" % (self.category, self.name,
+                                          self.start, self.end)
+
+
+class Tracer:
+    """The tracing protocol; the base class is a no-op (null) tracer.
+
+    Model code calls :meth:`begin`/:meth:`end` (and :meth:`instant`,
+    :meth:`counter`) unconditionally through ``sim.trace``; the kernel
+    calls the ``on_*`` hooks only when ``sim._tracing`` is set, which the
+    simulation derives from :attr:`enabled`.
+    """
+
+    #: Recording tracers set this True; the kernel skips hook calls
+    #: entirely when it is False.
+    enabled = False
+
+    def bind(self, sim) -> None:
+        """Attach to the simulation whose clock stamps the records."""
+
+    # -- span API (model-layer instrumentation) ---------------------------
+
+    def begin(self, category: str, name: str,
+              track: Tuple[str, str] = _DEFAULT_TRACK, **args) -> Span:
+        """Open a span at the current simulated time."""
+        return _NULL_SPAN
+
+    def end(self, span: Span) -> None:
+        """Close a span at the current simulated time."""
+
+    def instant(self, name: str, track: Tuple[str, str] = _DEFAULT_TRACK,
+                **args) -> None:
+        """Record a zero-duration mark."""
+
+    def counter(self, name: str, value: float,
+                track: Tuple[str, str] = _DEFAULT_TRACK) -> None:
+        """Sample a numeric series at the current simulated time."""
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def on_event_scheduled(self, sim, event, when: float,
+                           priority: int) -> None:
+        """An event entered the queue, due at ``when``."""
+
+    def on_event_fired(self, sim, event) -> None:
+        """The kernel popped an event and is about to run its callbacks."""
+
+    def on_clock_advanced(self, sim, previous: float, now: float) -> None:
+        """The virtual clock moved forward."""
+
+    def on_process_spawned(self, sim, process) -> None:
+        """A new process was created."""
+
+    def on_process_resumed(self, sim, process) -> None:
+        """A process is being resumed by the event loop."""
+
+    def on_process_interrupted(self, sim, process, cause) -> None:
+        """An Interrupt was thrown into a process."""
+
+    def on_process_terminated(self, sim, process, ok: bool) -> None:
+        """A process generator finished (ok) or raised (not ok)."""
+
+    def __repr__(self) -> str:
+        return "<%s enabled=%s>" % (type(self).__name__, self.enabled)
+
+
+#: Alias making intent explicit at call sites.
+NullTracer = Tracer
+
+#: The shared no-op tracer every Simulation uses by default.
+NULL_TRACER = Tracer()
+
+#: The shared span the null tracer hands out; ending it is a no-op.
+_NULL_SPAN = Span("null", "null", _DEFAULT_TRACK, 0.0, {})
+
+
+class TraceRecorder(Tracer):
+    """Records spans/instants/counters plus kernel activity statistics.
+
+    ``record_kernel`` additionally turns process spawn / interrupt /
+    termination into instant marks on the ``("kernel", <process name>)``
+    track, which makes scheduling visible in the exported trace at the
+    cost of a bigger file.
+    """
+
+    enabled = True
+
+    def __init__(self, record_kernel: bool = True):
+        self.sim = None
+        self.record_kernel = bool(record_kernel)
+        self.spans: List[Span] = []
+        #: (time, name, track, args) per instant, in record order.
+        self.instants: List[Tuple[float, str, Tuple[str, str], dict]] = []
+        #: (time, name, track, value) per counter sample, in record order.
+        self.counters: List[Tuple[float, str, Tuple[str, str], float]] = []
+        self.kernel_stats: Dict[str, int] = {
+            "events_scheduled": 0,
+            "events_fired": 0,
+            "clock_advances": 0,
+            "processes_spawned": 0,
+            "process_resumes": 0,
+            "process_interrupts": 0,
+            "processes_terminated": 0,
+            "process_failures": 0,
+        }
+
+    def bind(self, sim) -> None:
+        if self.sim is not None and self.sim is not sim:
+            raise TraceError("recorder is already bound to another "
+                             "simulation; use one recorder per run")
+        self.sim = sim
+
+    def _now(self) -> float:
+        if self.sim is None:
+            raise TraceError("recorder is not bound to a simulation "
+                             "(pass it as Simulation(tracer=...))")
+        return self.sim.now
+
+    # -- span API ----------------------------------------------------------
+
+    def begin(self, category: str, name: str,
+              track: Tuple[str, str] = _DEFAULT_TRACK, **args) -> Span:
+        span = Span(category, name, track, self._now(), args)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        if span is _NULL_SPAN:
+            return
+        span.end = self._now()
+
+    def instant(self, name: str, track: Tuple[str, str] = _DEFAULT_TRACK,
+                **args) -> None:
+        self.instants.append((self._now(), name, track, args))
+
+    def counter(self, name: str, value: float,
+                track: Tuple[str, str] = _DEFAULT_TRACK) -> None:
+        self.counters.append((self._now(), name, track, float(value)))
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def on_event_scheduled(self, sim, event, when: float,
+                           priority: int) -> None:
+        self.kernel_stats["events_scheduled"] += 1
+
+    def on_event_fired(self, sim, event) -> None:
+        self.kernel_stats["events_fired"] += 1
+
+    def on_clock_advanced(self, sim, previous: float, now: float) -> None:
+        self.kernel_stats["clock_advances"] += 1
+
+    def on_process_spawned(self, sim, process) -> None:
+        self.kernel_stats["processes_spawned"] += 1
+        if self.record_kernel:
+            self.instants.append((sim.now, "spawn " + process.name,
+                                  ("kernel", "processes"), {}))
+
+    def on_process_resumed(self, sim, process) -> None:
+        self.kernel_stats["process_resumes"] += 1
+
+    def on_process_interrupted(self, sim, process, cause) -> None:
+        self.kernel_stats["process_interrupts"] += 1
+        if self.record_kernel:
+            self.instants.append((sim.now, "interrupt " + process.name,
+                                  ("kernel", "processes"),
+                                  {"cause": repr(cause)}))
+
+    def on_process_terminated(self, sim, process, ok: bool) -> None:
+        self.kernel_stats["processes_terminated"] += 1
+        if not ok:
+            self.kernel_stats["process_failures"] += 1
+        if self.record_kernel:
+            self.instants.append((sim.now, "exit " + process.name,
+                                  ("kernel", "processes"), {"ok": ok}))
+
+    # -- introspection -----------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (usually an instrumentation bug)."""
+        return [span for span in self.spans if span.end is None]
+
+    def __repr__(self) -> str:
+        return "<TraceRecorder spans=%d instants=%d counters=%d>" % (
+            len(self.spans), len(self.instants), len(self.counters))

@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = [
     "Event",
     "Timeout",
@@ -166,6 +168,8 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[Event] = Initialize(sim, self)
+        if sim._tracing:
+            sim.trace.on_process_spawned(sim, self)
 
     @property
     def is_alive(self) -> bool:
@@ -192,9 +196,13 @@ class Process(Event):
         interrupt_event._defused = True  # never escalates to the kernel
         self.sim._enqueue_event(interrupt_event,
                                 priority=Simulation._PRIORITY_URGENT)
+        if self.sim._tracing:
+            self.sim.trace.on_process_interrupted(self.sim, self, cause)
 
     def _resume(self, event: Event) -> None:
         self.sim._active_process = self
+        if self.sim._tracing:
+            self.sim.trace.on_process_resumed(self.sim, self)
         while True:
             try:
                 if event._ok:
@@ -208,11 +216,16 @@ class Process(Event):
                 self._ok = True
                 self._value = stop.value
                 self.sim._enqueue_event(self)
+                if self.sim._tracing:
+                    self.sim.trace.on_process_terminated(self.sim, self, True)
                 break
             except BaseException as exc:  # model code raised
                 self._ok = False
                 self._value = exc
                 self.sim._enqueue_event(self)
+                if self.sim._tracing:
+                    self.sim.trace.on_process_terminated(self.sim, self,
+                                                         False)
                 break
 
             if not isinstance(next_event, Event):
@@ -300,13 +313,22 @@ class Simulation:
     _PRIORITY_HIGH = 1     # process initialization
     _PRIORITY_NORMAL = 2   # ordinary events
 
-    def __init__(self, start_time: float = 0.0, seed: int = 0):
+    def __init__(self, start_time: float = 0.0, seed: int = 0,
+                 tracer: Optional[Tracer] = None):
         self.now = float(start_time)
         self.seed = int(seed)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._next_id = 0
         self._active_process: Optional[Process] = None
         self._streams = None
+        self._metrics = None
+        #: The attached tracer; the shared null tracer unless one is given.
+        self.trace: Tracer = tracer if tracer is not None else NULL_TRACER
+        # Hot-path guard: hook sites test one boolean attribute, so an
+        # untraced simulation pays a branch, never a method call.
+        self._tracing = self.trace.enabled
+        if self._tracing:
+            self.trace.bind(self)
 
     @property
     def streams(self):
@@ -321,6 +343,20 @@ class Simulation:
 
             self._streams = RandomStreams(self.seed)
         return self._streams
+
+    @property
+    def metrics(self):
+        """The simulation-owned metrics registry (lazily created).
+
+        Components resolve their metric objects here once at
+        construction time (``sim.metrics.counter("layer.name")``) and
+        update them directly afterwards; see :mod:`repro.obs.metrics`.
+        """
+        if self._metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+        return self._metrics
 
     # -- event factories ---------------------------------------------------
 
@@ -356,9 +392,11 @@ class Simulation:
 
     def _enqueue_event(self, event: Event, delay: float = 0.0,
                        priority: int = _PRIORITY_NORMAL) -> None:
-        heapq.heappush(self._queue,
-                       (self.now + delay, priority, self._next_id, event))
+        when = self.now + delay
+        heapq.heappush(self._queue, (when, priority, self._next_id, event))
         self._next_id += 1
+        if self._tracing:
+            self.trace.on_event_scheduled(self, event, when, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -369,6 +407,10 @@ class Simulation:
         if not self._queue:
             raise SimulationError("no events to step")
         when, _priority, _eid, event = heapq.heappop(self._queue)
+        if self._tracing:
+            if when > self.now:
+                self.trace.on_clock_advanced(self, self.now, when)
+            self.trace.on_event_fired(self, event)
         self.now = when
         event._process()
         if event._ok is False and not getattr(event, "_defused", False):

@@ -45,6 +45,36 @@ class StatAccumulator:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "StatAccumulator") -> "StatAccumulator":
+        """Fold another accumulator's samples into this one, in place.
+
+        Uses the parallel-variance combination (Chan et al.), so the
+        result is exactly what a single accumulator over both sample
+        sets would hold — this is how per-layer metrics collected by
+        independent components are combined into one summary.  Returns
+        ``self`` for chaining.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 \
+            + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        if other.minimum is not None and other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum is not None and other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
     @property
     def mean(self) -> float:
         """Sample mean (0.0 when empty)."""

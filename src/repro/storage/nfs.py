@@ -90,6 +90,9 @@ class NfsMount(FileSystem):
                                 name=name + ".clientcache")
         network = client.engine.network
         self._latency = network.latency(client.host, server.host)
+        metrics = self.sim.metrics
+        self._m_rpcs = metrics.counter("storage.nfs.rpc_calls")
+        self._m_bytes = metrics.counter("storage.nfs.bytes")
 
     @property
     def loopback(self) -> bool:
@@ -157,6 +160,8 @@ class NfsMount(FileSystem):
             yield flow.done
         server.rpc_count += len(blocks)
         server.bytes_served += nbytes
+        self._m_rpcs.inc(len(blocks))
+        self._m_bytes.inc(nbytes)
         for block in blocks:
             self.cache.insert(file_id, block)
 
@@ -181,6 +186,8 @@ class NfsMount(FileSystem):
                                    sequential=sequential)
         server.rpc_count += len(blocks)
         server.bytes_served += payload
+        self._m_rpcs.inc(len(blocks))
+        self._m_bytes.inc(payload)
         file_id = (self.name, name)
         for block in blocks:
             self.cache.insert(file_id, block)

@@ -49,6 +49,11 @@ class PvfsProxy(FileSystem):
         self._write_buffer: Dict[str, List[Tuple[int, int]]] = {}
         self.buffered_bytes = 0
         self.prefetch_issued = 0
+        metrics = sim.metrics
+        self._m_hits = metrics.counter("storage.pvfs.cache_hits")
+        self._m_misses = metrics.counter("storage.pvfs.cache_misses")
+        self._m_prefetch = metrics.counter("storage.pvfs.prefetch_blocks")
+        self._m_flushed = metrics.counter("storage.pvfs.flushed_bytes")
 
     # -- metadata -------------------------------------------------------------
 
@@ -80,11 +85,13 @@ class PvfsProxy(FileSystem):
         """Read through the proxy cache; misses forward to the backing FS."""
         file_id = (self.name, name)
         hit_cost = 0.0
+        hits = 0
         miss_run: List[int] = []
         blocks = block_span(offset, nbytes, self.block_size)
         for block in blocks:
             if self.cache.lookup(file_id, block):
                 hit_cost += _PROXY_HIT_COST
+                hits += 1
                 if miss_run:
                     yield from self._fill(name, file_id, miss_run)
                     miss_run = []
@@ -92,6 +99,8 @@ class PvfsProxy(FileSystem):
             miss_run.append(block)
         if miss_run:
             yield from self._fill(name, file_id, miss_run)
+        self._m_hits.inc(hits)
+        self._m_misses.inc(len(blocks) - hits)
         if hit_cost:
             yield self.sim.timeout(hit_cost)
         # A streaming pattern warms the cache ahead of the reader.
@@ -122,6 +131,7 @@ class PvfsProxy(FileSystem):
         for block in wanted:
             self._inflight_prefetch.add((name, block))
         self.prefetch_issued += len(wanted)
+        self._m_prefetch.inc(len(wanted))
 
         def fetcher(sim):
             try:
@@ -150,9 +160,14 @@ class PvfsProxy(FileSystem):
         pending, self._write_buffer = self._write_buffer, {}
         flushed = self.buffered_bytes
         self.buffered_bytes = 0
+        span = self.sim.trace.begin("storage", "pvfs sync",
+                                    track=("storage", self.name),
+                                    bytes=flushed)
         for name, ranges in pending.items():
             for offset, nbytes in ranges:
                 yield from self.backing.write(name, offset, nbytes)
+        self.sim.trace.end(span)
+        self._m_flushed.inc(flushed)
         return flushed
 
     def __repr__(self) -> str:

@@ -52,8 +52,13 @@ class FileStager:
         dst_name = dst_name or src_name
         size = src_fs.size(src_name)
         dst_fs.create(dst_name, 0)
+        span = self.sim.trace.begin(
+            "storage", "stage %s" % src_name,
+            track=("storage", "stager:%s->%s" % (src_host, dst_host)),
+            bytes=size)
         yield self.sim.timeout(self.handshake_time)
         if size == 0:
+            self.sim.trace.end(span)
             return 0
 
         to_net: Store = Store(self.sim, capacity=self.pipeline_depth)
@@ -97,4 +102,6 @@ class FileStager:
         writer_proc = self.sim.spawn(writer(self.sim), name="stager.writer")
         total = yield writer_proc
         self.bytes_staged += total
+        self.sim.trace.end(span)
+        self.sim.metrics.counter("storage.stager.bytes").inc(total)
         return total

@@ -55,6 +55,11 @@ def migrate(vm: VirtualMachine, dest_vmm: VirtualMachineMonitor,
             % (dest_vmm.name, vm.name))
     sim = vm.sim
     start = sim.now
+    span = sim.trace.begin(
+        "vmm", "migrate %s -> %s" % (source_vmm.machine.name,
+                                     dest_vmm.machine.name),
+        track=("host:%s" % source_vmm.machine.name, "vm:%s" % vm.name),
+        vm=vm.name)
     memstate_name = memstate_name or (vm.name + ".memstate")
     src_fs = source_vmm.host.root_fs
     dst_fs = dest_vmm.host.root_fs
@@ -96,4 +101,7 @@ def migrate(vm: VirtualMachine, dest_vmm: VirtualMachineMonitor,
     source_vmm.machine.cpu.sync()
     vm.unfreeze()
     vm._set_state(VmState.RUNNING)
-    return sim.now - start
+    sim.trace.end(span)
+    downtime = sim.now - start
+    sim.metrics.histogram("vmm.migrate.downtime").observe(downtime)
+    return downtime

@@ -82,6 +82,10 @@ class VirtualMachineMonitor:
 
     # -- power management -----------------------------------------------------------
 
+    def _track(self, vm: VirtualMachine):
+        """The trace track for one VM: a thread row under this host."""
+        return ("host:%s" % self.machine.name, "vm:%s" % vm.name)
+
     def _vmm_process_start(self, vm: VirtualMachine):
         """VMM exec + guest memory allocate/zero (host CPU work)."""
         yield self.sim.timeout(self.costs.start_seconds)
@@ -105,6 +109,8 @@ class VirtualMachineMonitor:
         if mode not in ("boot", "restore"):
             raise SimulationError("unknown power-on mode %r" % mode)
         start = self.sim.now
+        span = self.sim.trace.begin("vmm", "power_on (%s)" % mode,
+                                    track=self._track(vm), vm=vm.name)
         vm._set_state(VmState.STARTING)
         yield from self._vmm_process_start(vm)
         if mode == "boot":
@@ -120,7 +126,11 @@ class VirtualMachineMonitor:
                               * self.costs.remote_state_cpu_per_byte)
             yield from vm.guest_os.resume()
         vm._set_state(VmState.RUNNING)
-        return self.sim.now - start
+        self.sim.trace.end(span)
+        duration = self.sim.now - start
+        self.sim.metrics.histogram("vmm.%s.duration" % mode).observe(
+            duration)
+        return duration
 
     def suspend(self, vm: VirtualMachine, dest_fs: FileSystem,
                 filename: Optional[str] = None):
@@ -128,10 +138,16 @@ class VirtualMachineMonitor:
         if vm.state is not VmState.RUNNING:
             raise SimulationError("%s is not running" % vm.name)
         filename = filename or vm.name + ".memstate"
+        start = self.sim.now
+        span = self.sim.trace.begin("vmm", "suspend", track=self._track(vm),
+                                    vm=vm.name)
         vm.freeze()
         yield from dest_fs.write(filename, 0, vm.config.memory_bytes,
                                  sequential=True)
         vm._set_state(VmState.SUSPENDED)
+        self.sim.trace.end(span)
+        self.sim.metrics.histogram("vmm.suspend.duration").observe(
+            self.sim.now - start)
         return filename
 
     def resume(self, vm: VirtualMachine, src_fs: FileSystem,
@@ -140,10 +156,16 @@ class VirtualMachineMonitor:
         if vm.state is not VmState.SUSPENDED:
             raise SimulationError("%s is not suspended" % vm.name)
         filename = filename or vm.name + ".memstate"
+        start = self.sim.now
+        span = self.sim.trace.begin("vmm", "resume", track=self._track(vm),
+                                    vm=vm.name)
         yield from src_fs.read(filename, 0, vm.config.memory_bytes,
                                sequential=True)
         vm.unfreeze()
         vm._set_state(VmState.RUNNING)
+        self.sim.trace.end(span)
+        self.sim.metrics.histogram("vmm.resume.duration").observe(
+            self.sim.now - start)
 
     def shutdown(self, vm: VirtualMachine):
         """Process generator: orderly guest shutdown, then terminate."""

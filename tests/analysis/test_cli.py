@@ -11,7 +11,7 @@ import repro
 from repro.analysis import analyze_paths
 from repro.analysis.cli import main
 
-#: One seeded violation for each of the eight rules.
+#: One seeded violation for each of the nine rules.
 VIOLATIONS = '''\
 import heapq
 import random
@@ -28,7 +28,7 @@ def stamp():
 
 def drain(pending):
     for item in set(pending):                # R3
-        print(item)
+        print(item)                          # R9
 
 
 def proc(sim):
@@ -49,7 +49,7 @@ def push(queue, when, event):
     heapq.heappush(queue, (when, event))     # R8
 '''
 
-ALL_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"]
+ALL_CODES = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"]
 
 
 @pytest.fixture

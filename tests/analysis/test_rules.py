@@ -121,14 +121,16 @@ def test_r3_comprehension_over_set_fires():
 
 
 def test_r3_sorted_clean():
-    assert_clean("def f(items):\n"
+    assert_clean("def f(items, handle):\n"
                  "    pending = set(items)\n"
                  "    for x in sorted(pending):\n"
-                 "        print(x)\n")
+                 "        handle(x)\n")
 
 
 def test_r3_list_iteration_clean():
-    assert_clean("for x in [1, 2, 3]:\n    print(x)\n")
+    assert_clean("def f(handle):\n"
+                 "    for x in [1, 2, 3]:\n"
+                 "        handle(x)\n")
 
 
 def test_r3_membership_clean():
@@ -138,8 +140,9 @@ def test_r3_membership_clean():
 
 
 def test_r3_suppression():
-    assert_clean("for x in {1, 2}:  # simlint: disable=R3\n"
-                 "    print(x)\n")
+    assert_clean("def f(handle):\n"
+                 "    for x in {1, 2}:  # simlint: disable=R3\n"
+                 "        handle(x)\n")
 
 
 # -- R4: lost-event ----------------------------------------------------------
@@ -284,6 +287,38 @@ def test_r8_suppression():
                  "def push(q, when, event):\n"
                  "    heapq.heappush(q, (when, event))"
                  "  # simlint: disable=R8\n")
+
+
+# -- R9: bare-print ----------------------------------------------------------
+
+def test_r9_print_in_model_code_fires():
+    assert_fires("def report(sim):\n"
+                 "    print('done at', sim.now)\n", "R9")
+
+
+def test_r9_module_level_print_fires():
+    assert_fires("print('loading')\n", "R9")
+
+
+def test_r9_cli_module_exempt():
+    source = "def main():\n    print('table')\n"
+    assert analyze_source(source, path="src/repro/cli.py") == []
+    assert analyze_source(source, path="src/repro/analysis/cli.py") == []
+
+
+def test_r9_reporting_module_exempt():
+    assert analyze_source("print('x')\n",
+                          path="src/repro/core/reporting.py") == []
+
+
+def test_r9_method_named_print_clean():
+    # Only the builtin matters; attribute calls are someone's API.
+    assert_clean("def f(doc):\n    doc.print()\n")
+
+
+def test_r9_suppression():
+    assert_clean("def debug(sim):\n"
+                 "    print(sim.now)  # simlint: disable=R9\n")
 
 
 # -- engine behaviour --------------------------------------------------------

@@ -1,0 +1,123 @@
+"""Chrome-trace-event export: format, ids, determinism."""
+
+import json
+
+from repro.obs import (
+    TraceRecorder,
+    chrome_trace_events,
+    chrome_trace_json,
+    export_chrome_trace,
+)
+from repro.simulation import Simulation
+
+
+def recorded_run():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        span = sim.trace.begin("vmm", "boot", track=("host1", "vm1"),
+                               mode="boot")
+        yield sim.timeout(1.5)
+        sim.trace.end(span)
+        sim.trace.instant("booted", track=("host1", "vm1"))
+        sim.trace.counter("mem", 128.0, track=("host1", "vm1"))
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    return recorder
+
+
+def events_by_phase(events):
+    out = {}
+    for event in events:
+        out.setdefault(event["ph"], []).append(event)
+    return out
+
+
+def test_span_becomes_complete_event_in_microseconds():
+    events = events_by_phase(chrome_trace_events(recorded_run()))
+    (span,) = events["X"]
+    assert span["ts"] == 0
+    assert span["dur"] == 1_500_000
+    assert span["cat"] == "vmm"
+    assert span["name"] == "boot"
+    assert span["args"] == {"mode": "boot"}
+    assert isinstance(span["ts"], int) and isinstance(span["dur"], int)
+
+
+def test_instant_and_counter_events():
+    events = events_by_phase(chrome_trace_events(recorded_run()))
+    (instant,) = events["i"]
+    assert instant["name"] == "booted"
+    assert instant["ts"] == 1_500_000
+    assert instant["s"] == "t"
+    (counter,) = events["C"]
+    assert counter["name"] == "mem"
+    assert counter["args"] == {"value": 128.0}
+
+
+def test_metadata_names_tracks():
+    events = events_by_phase(chrome_trace_events(recorded_run()))
+    meta = events["M"]
+    names = {(e["name"], e["args"]["name"]) for e in meta}
+    assert ("process_name", "host1") in names
+    assert ("thread_name", "vm1") in names
+
+
+def test_track_ids_are_first_seen_order():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        sim.trace.instant("a", track=("p1", "t1"))
+        sim.trace.instant("b", track=("p2", "t1"))
+        sim.trace.instant("c", track=("p1", "t2"))
+        yield sim.timeout(0.0)
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    events = events_by_phase(chrome_trace_events(recorder))
+    a, b, c = events["i"]
+    assert (a["pid"], a["tid"]) == (1, 1)
+    assert (b["pid"], b["tid"]) == (2, 1)
+    assert (c["pid"], c["tid"]) == (1, 2)
+
+
+def test_unfinished_span_is_flagged():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        sim.trace.begin("cat", "left-open")
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    events = events_by_phase(chrome_trace_events(recorder))
+    (span,) = events["X"]
+    assert span["args"]["unfinished"] is True
+    assert span["dur"] == 0
+    assert recorder.open_spans() != []
+
+
+def test_events_sorted_by_timestamp():
+    events = chrome_trace_events(recorded_run())
+    data = [e for e in events if e["ph"] != "M"]
+    timestamps = [e["ts"] for e in data]
+    assert timestamps == sorted(timestamps)
+
+
+def test_json_document_shape():
+    doc = json.loads(chrome_trace_json(recorded_run()))
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["kernel"]["processes_spawned"] == 1
+
+
+def test_same_run_exports_identical_bytes(tmp_path):
+    one = tmp_path / "one.json"
+    two = tmp_path / "two.json"
+    count1 = export_chrome_trace(recorded_run(), str(one))
+    count2 = export_chrome_trace(recorded_run(), str(two))
+    assert count1 == count2
+    assert one.read_bytes() == two.read_bytes()
+    # And the file is loadable JSON with the advertised event count.
+    assert len(json.loads(one.read_text())["traceEvents"]) == count1

@@ -1,0 +1,112 @@
+"""The metrics registry: counters, gauges, histograms, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.simulation import Simulation
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    c = reg.counter("storage.pvfs.cache_hits")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5.0
+
+
+def test_counter_rejects_decrease():
+    c = MetricsRegistry().counter("x")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_value_wins():
+    g = MetricsRegistry().gauge("net.flows.active")
+    assert g.value is None
+    g.set(3)
+    g.set(1)
+    assert g.value == 1.0
+
+
+def test_histogram_summarizes():
+    h = MetricsRegistry().histogram("vmm.boot.duration")
+    for v in (10.0, 20.0, 30.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["mean"] == pytest.approx(20.0)
+    assert snap["min"] == 10.0
+    assert snap["max"] == 30.0
+
+
+def test_get_or_create_returns_same_object():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+    assert len(reg) == 1
+    assert "a.b" in reg
+    assert "a.c" not in reg
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("a.b")
+    with pytest.raises(TypeError):
+        reg.gauge("a.b")
+    with pytest.raises(TypeError):
+        reg.histogram("a.b")
+
+
+def test_names_filter_by_prefix():
+    reg = MetricsRegistry()
+    reg.counter("storage.pvfs.cache_hits")
+    reg.counter("storage.nfs.rpc_calls")
+    reg.gauge("net.flows.active")
+    assert reg.names("storage.") == ["storage.nfs.rpc_calls",
+                                     "storage.pvfs.cache_hits"]
+    assert reg.names() == ["net.flows.active", "storage.nfs.rpc_calls",
+                           "storage.pvfs.cache_hits"]
+
+
+def test_snapshot_and_json_are_deterministic():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1)
+        reg.histogram("c").observe(4.0)
+        return reg
+
+    assert build().to_json() == build().to_json()
+    payload = json.loads(build().to_json())
+    assert list(payload) == ["a", "b", "c"]
+    assert payload["b"] == {"type": "counter", "value": 2.0}
+
+
+def test_to_table_renders_every_metric():
+    reg = MetricsRegistry()
+    reg.counter("storage.gridftp.bytes").inc(1024)
+    reg.histogram("sched.queue_wait").observe(2.5)
+    reg.gauge("net.flows.active")
+    table = reg.to_table(title="T")
+    assert "storage.gridftp.bytes" in table
+    assert "sched.queue_wait" in table
+    assert "n=1" in table
+    # A never-set gauge renders as a dash, not a crash.
+    assert "-" in table
+
+
+def test_simulation_owns_a_lazy_registry():
+    sim = Simulation()
+    assert sim._metrics is None     # not built until first use
+    reg = sim.metrics
+    assert isinstance(reg, MetricsRegistry)
+    assert sim.metrics is reg       # cached thereafter
+
+
+def test_component_pattern_resolve_once_update_often():
+    sim = Simulation()
+    hits = sim.metrics.counter("storage.pvfs.cache_hits")
+    for _ in range(10):
+        hits.inc()
+    assert sim.metrics.counter("storage.pvfs.cache_hits").value == 10.0

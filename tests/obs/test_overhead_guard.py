@@ -1,0 +1,75 @@
+"""Guard: the null tracer must not slow the kernel's hot path.
+
+This is the lenient `make check` variant — it fails only on a gross
+regression (e.g. someone replacing the ``if self._tracing:`` guard
+with an unconditional virtual call or allocating per event).  The
+strict ≤5% bound lives in ``benchmarks/test_null_tracer_overhead.py``,
+outside the tier-1 suite, where timing noise can be managed with
+longer runs.
+"""
+
+import heapq
+import timeit
+
+from repro.simulation import Simulation
+from repro.simulation.kernel import SimulationError
+
+
+class BaselineSimulation(Simulation):
+    """The kernel hot path with the tracer guards stripped back out."""
+
+    def _enqueue_event(self, event, delay=0.0,
+                       priority=Simulation._PRIORITY_NORMAL):
+        heapq.heappush(self._queue,
+                       (self.now + delay, priority, self._next_id, event))
+        self._next_id += 1
+
+    def step(self):
+        if not self._queue:
+            raise SimulationError("no events to step")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self.now = when
+        event._process()
+        if event._ok is False and not getattr(event, "_defused", False):
+            raise event._value
+
+
+def churn(sim_class, processes=20, hops=150):
+    """A pure event-churn workload: many processes trading timeouts."""
+    sim = sim_class()
+
+    def worker(sim, i):
+        for _hop in range(hops):
+            yield sim.timeout(1e-3 * (i + 1))
+
+    for i in range(processes):
+        sim.spawn(worker(sim, i), name="churn-%d" % i)
+    sim.run()
+    return sim
+
+
+def test_workloads_are_equivalent():
+    # The baseline subclass must model the same simulation exactly.
+    assert churn(Simulation).now == churn(BaselineSimulation).now
+
+
+def test_null_tracer_overhead_is_bounded():
+    # Interleaved min-of-N: the minimum is robust against one-off
+    # scheduler hiccups, interleaving against clock drift.
+    instrumented = []
+    baseline = []
+    for _round in range(5):
+        baseline.append(timeit.timeit(
+            lambda: churn(BaselineSimulation), number=1))
+        instrumented.append(timeit.timeit(
+            lambda: churn(Simulation), number=1))
+    ratio = min(instrumented) / min(baseline)
+    # Lenient 1.5x ceiling: a plain boolean test can't cost 50%.
+    assert ratio < 1.5, "null-tracer hot path ratio %.3f" % ratio
+
+
+def test_null_tracer_allocates_no_records():
+    sim = churn(Simulation, processes=5, hops=20)
+    # The default tracer records nothing and builds no registry.
+    assert not hasattr(sim.trace, "spans")
+    assert sim._metrics is None

@@ -1,0 +1,48 @@
+"""The `repro trace` / `repro metrics` CLI commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_trace_command_writes_chrome_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "table2", "--seed", "42",
+                 "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    printed = capsys.readouterr().out
+    assert str(out) in printed
+
+
+def test_trace_command_is_deterministic(tmp_path):
+    one = tmp_path / "one.json"
+    two = tmp_path / "two.json"
+    main(["trace", "table2", "--seed", "42", "--out", str(one)])
+    main(["trace", "table2", "--seed", "42", "--out", str(two)])
+    assert one.read_bytes() == two.read_bytes()
+
+
+def test_metrics_command_prints_table(capsys):
+    assert main(["metrics", "figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "session.step1.duration" in out
+    assert "vmm.boot.duration" in out
+
+
+def test_metrics_command_json(capsys):
+    assert main(["metrics", "figure1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["session.step6.duration"]["count"] == 1
+
+
+def test_trace_requires_target(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace"])
+
+
+def test_trace_rejects_unknown_target(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "table9"])

@@ -1,0 +1,148 @@
+"""Tracer protocol: null behaviour, recording, kernel hooks."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Span, TraceError, Tracer, TraceRecorder
+from repro.simulation import Interrupt, Simulation
+
+
+def test_null_tracer_is_the_default():
+    sim = Simulation()
+    assert sim.trace is NULL_TRACER
+    assert sim.trace.enabled is False
+    assert sim._tracing is False
+
+
+def test_null_tracer_span_api_is_inert():
+    sim = Simulation()
+    span = sim.trace.begin("cat", "thing", foo=1)
+    assert isinstance(span, Span)
+    sim.trace.end(span)          # no-op, never raises
+    sim.trace.instant("mark")
+    sim.trace.counter("level", 3.0)
+    # All null spans are the same shared object: zero allocation.
+    assert sim.trace.begin("a", "b") is span
+
+
+def test_recorder_spans_use_sim_time():
+    recorder = TraceRecorder()
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        span = sim.trace.begin("test", "work", track=("host", "p1"), n=7)
+        yield sim.timeout(2.5)
+        sim.trace.end(span)
+        return span
+
+    span = sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.track == ("host", "p1")
+    assert span.args == {"n": 7}
+    assert span in recorder.spans
+    assert recorder.open_spans() == []
+
+
+def test_recorder_instants_and_counters():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        sim.trace.instant("begin", track=("a", "b"), detail="x")
+        yield sim.timeout(1.0)
+        sim.trace.counter("queue", 4, track=("a", "b"))
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    assert recorder.instants == [(0.0, "begin", ("a", "b"),
+                                  {"detail": "x"})]
+    assert recorder.counters == [(1.0, "queue", ("a", "b"), 4.0)]
+
+
+def test_unbound_recorder_raises():
+    recorder = TraceRecorder()
+    with pytest.raises(TraceError):
+        recorder.begin("cat", "thing")
+
+
+def test_recorder_refuses_second_simulation():
+    recorder = TraceRecorder()
+    Simulation(tracer=recorder)
+    with pytest.raises(TraceError):
+        Simulation(tracer=recorder)
+
+
+def test_kernel_stats_cover_the_event_loop():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    stats = recorder.kernel_stats
+    assert stats["processes_spawned"] == 1
+    assert stats["processes_terminated"] == 1
+    assert stats["process_failures"] == 0
+    assert stats["events_scheduled"] >= 2
+    assert stats["events_fired"] >= 2
+    assert stats["clock_advances"] == 2  # t=0 -> 1 -> 2
+    assert stats["process_resumes"] >= 2
+
+
+def test_kernel_stats_count_interrupts_and_failures():
+    recorder = TraceRecorder(record_kernel=True)
+    sim = Simulation(tracer=recorder)
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            raise ValueError("boom")
+
+    proc = sim.spawn(sleeper(sim), name="sleeper")
+
+    def killer(sim):
+        yield sim.timeout(1.0)
+        proc.interrupt("stop")
+
+    sim.spawn(killer(sim), name="killer")
+    with pytest.raises(ValueError):
+        sim.run()
+    assert recorder.kernel_stats["process_interrupts"] == 1
+    assert recorder.kernel_stats["process_failures"] == 1
+    names = [name for _t, name, _track, _args in recorder.instants]
+    assert "spawn sleeper" in names
+    assert "interrupt sleeper" in names
+    assert "exit sleeper" in names
+
+
+def test_record_kernel_off_keeps_stats_but_not_instants():
+    recorder = TraceRecorder(record_kernel=False)
+    sim = Simulation(tracer=recorder)
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="worker"))
+    assert recorder.kernel_stats["processes_spawned"] == 1
+    assert recorder.instants == []
+
+
+def test_custom_tracer_subclass_receives_hooks():
+    seen = []
+
+    class Probe(Tracer):
+        enabled = True
+
+        def on_process_spawned(self, sim, process):
+            seen.append(process.name)
+
+    sim = Simulation(tracer=Probe())
+
+    def worker(sim):
+        yield sim.timeout(0.5)
+
+    sim.run_until_complete(sim.spawn(worker(sim), name="probed"))
+    assert seen == ["probed"]

@@ -139,3 +139,130 @@ def test_time_average_bounded_by_extremes(samples):
     hi = max(v for _, v in samples)
     avg = mon.time_average(samples[0][0], samples[-1][0] + 1.0)
     assert lo - 1e-9 <= avg <= hi + 1e-9
+
+
+# -- monitor edge cases ------------------------------------------------------
+
+def test_value_at_before_first_sample_is_none():
+    mon = TimeSeriesMonitor()
+    mon.record(5.0, 1.0)
+    assert mon.value_at(4.999) is None
+    assert mon.value_at(5.0) == 1.0
+
+
+def test_empty_monitor_observations():
+    mon = TimeSeriesMonitor()
+    assert len(mon) == 0
+    assert mon.last_value is None
+    assert mon.value_at(0.0) is None
+    assert mon.time_average() == 0.0
+    assert mon.window(0.0, 100.0) == []
+
+
+def test_time_average_start_before_first_sample():
+    # Before the first sample the step function is undefined; the
+    # window prefix contributes zero weight.
+    mon = TimeSeriesMonitor()
+    mon.record(4.0, 2.0)
+    mon.record(8.0, 2.0)
+    # Value 2 on [4, 8] out of a [0, 8] window: 8/8 = 1.
+    assert mon.time_average(0.0, 8.0) == pytest.approx(1.0)
+
+
+def test_time_average_end_after_last_sample():
+    # The last sample's value persists to the end of the window.
+    mon = TimeSeriesMonitor()
+    mon.record(0.0, 1.0)
+    mon.record(2.0, 3.0)
+    # 1 on [0,2], 3 on [2,6]: (2 + 12)/6.
+    assert mon.time_average(0.0, 6.0) == pytest.approx(14.0 / 6.0)
+
+
+def test_time_average_window_entirely_before_samples():
+    mon = TimeSeriesMonitor()
+    mon.record(10.0, 5.0)
+    assert mon.time_average(0.0, 4.0) == 0.0
+
+
+def test_time_average_degenerate_window():
+    mon = TimeSeriesMonitor()
+    mon.record(0.0, 7.0)
+    mon.record(3.0, 9.0)
+    # start == end collapses to the step value at that instant.
+    assert mon.time_average(3.0, 3.0) == 9.0
+    # ... and to 0 before the first sample, where the value is None.
+    assert mon.time_average(-1.0, -1.0) == 0.0
+
+
+# -- StatAccumulator.merge ---------------------------------------------------
+
+def test_merge_matches_extend():
+    left = StatAccumulator("a")
+    right = StatAccumulator("b")
+    both = StatAccumulator("ab")
+    xs = [1.0, 2.5, -4.0, 8.25]
+    ys = [0.5, 100.0, -3.75]
+    left.extend(xs)
+    right.extend(ys)
+    both.extend(xs + ys)
+    result = left.merge(right)
+    assert result is left
+    assert left.count == both.count
+    assert left.mean == pytest.approx(both.mean)
+    assert left.variance == pytest.approx(both.variance)
+    assert left.minimum == both.minimum
+    assert left.maximum == both.maximum
+
+
+def test_merge_empty_other_is_noop():
+    acc = StatAccumulator()
+    acc.extend([1.0, 2.0, 3.0])
+    before = acc.summary()
+    acc.merge(StatAccumulator())
+    assert acc.summary() == before
+
+
+def test_merge_into_empty_copies_other():
+    acc = StatAccumulator()
+    other = StatAccumulator()
+    other.extend([4.0, 6.0])
+    acc.merge(other)
+    assert acc.count == 2
+    assert acc.mean == pytest.approx(5.0)
+    assert acc.minimum == 4.0
+    assert acc.maximum == 6.0
+    # The source accumulator is untouched.
+    assert other.count == 2
+
+
+def test_merge_two_empties():
+    acc = StatAccumulator()
+    acc.merge(StatAccumulator())
+    assert acc.count == 0
+    assert acc.mean == 0.0
+    assert acc.minimum is None and acc.maximum is None
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False),
+                min_size=0, max_size=30),
+       st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False),
+                min_size=0, max_size=30))
+def test_merge_matches_direct_computation(xs, ys):
+    left = StatAccumulator()
+    left.extend(xs)
+    right = StatAccumulator()
+    right.extend(ys)
+    left.merge(right)
+    combined = xs + ys
+    assert left.count == len(combined)
+    if combined:
+        assert left.mean == pytest.approx(
+            sum(combined) / len(combined), rel=1e-9, abs=1e-6)
+        assert left.minimum == min(combined)
+        assert left.maximum == max(combined)
+    if len(combined) >= 2:
+        mean = sum(combined) / len(combined)
+        var = sum((v - mean) ** 2 for v in combined) / (len(combined) - 1)
+        assert left.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
