@@ -1,20 +1,27 @@
 # Development entry points.  `make check` is the CI gate: the simlint
 # static-analysis pass over src/ (non-zero exit on any finding), the
-# tier-1 test suite, and the observability smoke test (trace
+# tier-1 test suite (which includes the workers=1 vs workers=N
+# parallel-determinism tests), and the observability smoke test (trace
 # determinism + null-tracer overhead guard).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test trace-smoke experiments
+.PHONY: check lint test parallel-determinism trace-smoke bench experiments
 
-check: lint test trace-smoke
+check: lint test parallel-determinism trace-smoke
 
 lint:
 	$(PYTHON) -m repro.analysis src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Byte-identity across worker counts, run standalone so a failure is
+# unmistakably a parallelism bug (the file also runs as part of
+# `test`; see docs/performance.md).
+parallel-determinism:
+	$(PYTHON) -m pytest -x -q tests/experiments/test_parallel_determinism.py
 
 # Trace the table2 scenario twice at the same seed: the exported
 # Chrome-trace JSON must be byte-identical, and the null tracer must
@@ -26,6 +33,12 @@ trace-smoke:
 	rm -f .trace-smoke-a.json .trace-smoke-b.json
 	$(PYTHON) -m pytest -x -q tests/obs/test_overhead_guard.py \
 	    tests/obs/test_trace_determinism.py
+
+# Kernel throughput microbenchmark: regenerates BENCH_kernel.json at
+# the repo root (events/sec for the hot-path workloads, pre-PR
+# baseline, and the speedup ratio — see docs/performance.md).
+bench:
+	$(PYTHON) -m pytest -x -q benchmarks/test_kernel_throughput.py
 
 experiments:
 	$(PYTHON) -m repro all

@@ -13,6 +13,12 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def report(request, capsys):
     """Print a result table live and archive it under results/."""

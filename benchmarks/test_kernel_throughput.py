@@ -1,0 +1,136 @@
+"""Kernel throughput microbenchmark: events per second of wall time.
+
+Two synthetic workloads exercise the two halves of the kernel hot path:
+
+* **ping-pong** — pairs of processes waking each other through plain
+  one-shot events (``Event.succeed`` -> enqueue -> pop -> resume), the
+  path every resource grant and message hand-off takes;
+* **timeout-storm** — many processes sleeping on timeouts
+  (``Timeout.__init__`` -> heap -> pop -> resume), the path every
+  service-time model takes.
+
+The measured events/sec for both workloads, together with the pre-PR
+baseline recorded below, are written to ``BENCH_kernel.json`` at the
+repo root so the perf trajectory of the kernel is archived alongside
+the experiment tables (``make bench`` regenerates it).
+
+Wall-clock reads are confined to this harness; the simulated worlds
+remain deterministic.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.simulation.kernel import Simulation
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_kernel.json"
+
+#: Events/sec of the seed kernel (commit 57d6908: dict-backed events,
+#: per-event ``getattr`` in ``step()``, no ``__slots__``), measured on
+#: the reference container with the workloads below.  The post-PR
+#: kernel is compared against these numbers; re-measure on the old
+#: kernel if the workload shapes ever change.
+PRE_PR_BASELINE = {
+    "ping_pong_events_per_sec": 533589.0,
+    "timeout_storm_events_per_sec": 523884.0,
+}
+
+
+def ping_pong_workload(pairs: int = 50, hops: int = 400) -> Simulation:
+    """Pairs of processes trading messages through two channels."""
+    from repro.simulation.resources import Store
+
+    sim = Simulation()
+
+    def ping(sim, inbox, outbox, hops):
+        for _hop in range(hops):
+            outbox.put("ping")
+            yield inbox.get()
+
+    def pong(sim, inbox, outbox, hops):
+        for _hop in range(hops):
+            yield inbox.get()
+            outbox.put("pong")
+
+    for _pair in range(pairs):
+        a_chan = Store(sim)
+        b_chan = Store(sim)
+        sim.spawn(ping(sim, a_chan, b_chan, hops), name="ping")
+        sim.spawn(pong(sim, b_chan, a_chan, hops), name="pong")
+    sim.run()
+    return sim
+
+
+def timeout_storm_workload(processes: int = 200,
+                           hops: int = 200) -> Simulation:
+    """Many processes sleeping on staggered timeouts."""
+    sim = Simulation()
+
+    def sleeper(sim, i):
+        delay = 1e-3 * (i + 1)
+        for _hop in range(hops):
+            yield sim.timeout(delay)
+
+    for i in range(processes):
+        sim.spawn(sleeper(sim, i), name="sleeper-%d" % i)
+    sim.run()
+    return sim
+
+
+def _events_per_sec(workload, rounds: int = 5) -> float:
+    """Best-of-N events/sec; the total event count is ``sim._next_id``
+    (every scheduled event gets exactly one queue entry)."""
+    best = 0.0
+    for _round in range(rounds):
+        start = time.perf_counter()
+        sim = workload()
+        elapsed = time.perf_counter() - start
+        best = max(best, sim._next_id / elapsed)
+    return best
+
+
+def test_kernel_throughput(report):
+    ping_pong = _events_per_sec(ping_pong_workload)
+    storm = _events_per_sec(timeout_storm_workload)
+    record = {
+        "workloads": {
+            "ping_pong": "50 pairs x 400 hops of Event.succeed hand-offs",
+            "timeout_storm": "200 processes x 200 staggered timeouts",
+        },
+        "baseline_events_per_sec": {
+            "ping_pong": PRE_PR_BASELINE["ping_pong_events_per_sec"],
+            "timeout_storm":
+                PRE_PR_BASELINE["timeout_storm_events_per_sec"],
+        },
+        "current_events_per_sec": {
+            "ping_pong": round(ping_pong, 1),
+            "timeout_storm": round(storm, 1),
+        },
+    }
+    lines = ["Kernel throughput (events/sec, best of 5):",
+             "  ping-pong:     %12.0f" % ping_pong,
+             "  timeout-storm: %12.0f" % storm]
+    speedups = {}
+    for key, current in (("ping_pong", ping_pong),
+                         ("timeout_storm", storm)):
+        base = record["baseline_events_per_sec"][key]
+        if base:
+            speedups[key] = round(current / base, 3)
+            lines.append("  %s speedup vs pre-PR baseline: %.2fx"
+                         % (key, current / base))
+    record["speedup_vs_baseline"] = speedups
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    report("\n".join(lines))
+    # Regression guard only: the archived numbers carry the precise
+    # trajectory; a hard 1.5x assert here would be hostage to noise on
+    # loaded CI machines.
+    for key, speedup in speedups.items():
+        assert speedup > 0.8, (
+            "%s throughput regressed to %.2fx of the recorded baseline"
+            % (key, speedup))

@@ -40,8 +40,8 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
 
 
 def registered_rule_classes() -> List[Type[Rule]]:
-    """The registered classes, sorted by code."""
-    return sorted(_REGISTRY, key=lambda cls: cls.code)
+    """The registered classes, sorted by code (R2 before R10)."""
+    return sorted(_REGISTRY, key=lambda cls: (len(cls.code), cls.code))
 
 
 def default_rules() -> List[Rule]:
@@ -57,6 +57,7 @@ from repro.analysis.rules import (  # noqa: E402,F401  (import for effect)
     heapkeys,
     mutables,
     ordering,
+    poolsize,
     printing,
     randomness,
     wallclock,

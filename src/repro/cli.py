@@ -3,9 +3,9 @@
 Usage::
 
     python -m repro table1 [--scale 1.0]
-    python -m repro table2 [--samples 10]
-    python -m repro figure1 [--samples 150]
-    python -m repro ablations
+    python -m repro table2 [--samples 10] [--workers 4]
+    python -m repro figure1 [--samples 150] [--workers 4]
+    python -m repro ablations [--workers 4]
     python -m repro overlay
     python -m repro migration
     python -m repro all
@@ -20,6 +20,11 @@ replays a representative session life cycle for an experiment and
 writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
 ``metrics`` prints the metrics registry after the same run.  See
 ``docs/observability.md``.
+
+``--workers N`` fans independent replications across N processes
+(``docs/performance.md``); every artifact is byte-identical for any
+worker count, including the single-world ``trace``/``metrics`` runs,
+which stay sequential by construction.
 """
 
 from __future__ import annotations
@@ -50,7 +55,8 @@ def _cmd_table1(args) -> None:
 def _cmd_table2(args) -> None:
     from repro.experiments.table2 import run_table2
 
-    rows = run_table2(samples=args.samples, seed=args.seed)
+    rows = run_table2(samples=args.samples, seed=args.seed,
+                      workers=args.workers)
     print(format_table(
         ["Start", "Storage", "Mean(s)", "Std", "Min", "Max"],
         [[r.start_mode, r.storage_mode, "%.1f" % r.mean, "%.1f" % r.std,
@@ -61,7 +67,8 @@ def _cmd_table2(args) -> None:
 def _cmd_figure1(args) -> None:
     from repro.experiments.figure1 import run_figure1
 
-    results = run_figure1(samples=args.samples, seed=args.seed)
+    results = run_figure1(samples=args.samples, seed=args.seed,
+                          workers=args.workers)
     print(format_table(
         ["Load", "Test on", "Load on", "Mean slowdown", "Std"],
         [[r.load_level, r.test_on, r.load_on, "%.3f" % r.mean_slowdown,
@@ -76,21 +83,21 @@ def _cmd_ablations(args) -> None:
         run_staging_ablation,
     )
 
-    cache = run_proxy_cache_ablation(seed=args.seed)
+    cache = run_proxy_cache_ablation(seed=args.seed, workers=args.workers)
     print(format_table(
         ["Proxy cache", "Cold(s)", "Warm mean(s)"],
         [["on" if r.proxy_cache else "off", "%.1f" % r.cold,
           "%.1f" % r.warm_mean] for r in cache],
         title="A1: proxy cache"))
     print()
-    sched = run_scheduler_ablation(seed=args.seed)
+    sched = run_scheduler_ablation(seed=args.seed, workers=args.workers)
     print(format_table(
         ["Mechanism", "VM", "Target", "Achieved"],
         [[r.mechanism, r.vm, "%.3f" % r.target, "%.3f" % r.achieved]
          for r in sched],
         title="A2: enforcement mechanisms"))
     print()
-    staging = run_staging_ablation()
+    staging = run_staging_ablation(workers=args.workers)
     print(format_table(
         ["Fraction", "On-demand(s)", "Staged(s)", "Winner"],
         [["%.2f" % p.fraction, "%.1f" % p.on_demand_time,
@@ -202,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(figure1, table1 or table2)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root random seed (default 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="replication worker processes (default 1: "
+                             "sequential; results are byte-identical "
+                             "for any value)")
     parser.add_argument("--out", default=None,
                         help="trace: output file "
                              "(default <target>-trace.json)")

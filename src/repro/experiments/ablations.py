@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.experiments.runner import run_replications
 from repro.experiments.testbed import (
     GUEST_MEMORY_MB,
     IMAGE_BYTES,
@@ -87,53 +88,58 @@ class ProxyCacheResult:
         return sum(tail) / len(tail) if tail else float("nan")
 
 
-def run_proxy_cache_ablation(instantiations: int = 4,
-                             seed: int = 0) -> List[ProxyCacheResult]:
+def _proxy_cache_world(cache_on: bool, instantiations: int,
+                       seed: int) -> ProxyCacheResult:
+    """One cache configuration: a fresh WAN world, repeated restores."""
+    sim = Simulation()
+    streams = RandomStreams(seed)
+    net = Network.two_site_wan(sim, "uf", ["compute"], "nw", ["image"])
+    engine = FlowEngine(sim, net)
+    compute = PhysicalMachine(sim, "compute", site="uf",
+                              spec=compute_node_spec())
+    host = PhysicalHost(compute, cache_bytes=256 * MB)
+    vmm = VirtualMachineMonitor(host, costs=vmm_costs())
+    image_machine = PhysicalMachine(sim, "image", site="nw",
+                                    spec=compute_node_spec())
+    image_host = PhysicalHost(image_machine, cache_bytes=512 * MB)
+    image_host.root_fs.create(_IMAGE, IMAGE_BYTES)
+    image_host.root_fs.create(_MEMSTATE, GUEST_MEMORY_MB * MB)
+    nfsd = NfsServer(sim, "image", image_host.root_fs, engine)
+    mount = NfsClient(sim, "compute", engine,
+                      cache_bytes=16 * MB).mount(nfsd)
+    proxy = PvfsProxy(sim, mount,
+                      cache_bytes=512 * MB if cache_on else 0,
+                      name="pvfs@compute")
+    base = DiskImage(proxy, _IMAGE, IMAGE_BYTES)
+
+    times: List[float] = []
+
+    def one(sim, index):
+        config = VmConfig("vm%d" % index, memory_mb=GUEST_MEMORY_MB,
+                          guest_profile=guest_profile())
+        vm = vmm.create_vm(config, base, disk_mode="nonpersistent",
+                           remote_cpu_per_byte=vmm.costs
+                           .remote_state_cpu_per_byte,
+                           rng=streams.stream("vm%d" % index))
+        duration = yield from vmm.power_on(
+            vm, mode="restore", memstate=(proxy, _MEMSTATE),
+            memstate_is_remote=True)
+        vmm.destroy(vm)
+        return duration
+
+    for index in range(instantiations):
+        times.append(sim.run_until_complete(
+            sim.spawn(one(sim, index),
+                      name="ablation.proxycache.%d" % index)))
+    return ProxyCacheResult(cache_on, times)
+
+
+def run_proxy_cache_ablation(instantiations: int = 4, seed: int = 0,
+                             workers: int = 1) -> List[ProxyCacheResult]:
     """Repeated VM-restores of a shared image over the WAN, cache on/off."""
-    results = []
-    for cache_on in (True, False):
-        sim = Simulation()
-        streams = RandomStreams(seed)
-        net = Network.two_site_wan(sim, "uf", ["compute"], "nw", ["image"])
-        engine = FlowEngine(sim, net)
-        compute = PhysicalMachine(sim, "compute", site="uf",
-                                  spec=compute_node_spec())
-        host = PhysicalHost(compute, cache_bytes=256 * MB)
-        vmm = VirtualMachineMonitor(host, costs=vmm_costs())
-        image_machine = PhysicalMachine(sim, "image", site="nw",
-                                        spec=compute_node_spec())
-        image_host = PhysicalHost(image_machine, cache_bytes=512 * MB)
-        image_host.root_fs.create(_IMAGE, IMAGE_BYTES)
-        image_host.root_fs.create(_MEMSTATE, GUEST_MEMORY_MB * MB)
-        nfsd = NfsServer(sim, "image", image_host.root_fs, engine)
-        mount = NfsClient(sim, "compute", engine,
-                          cache_bytes=16 * MB).mount(nfsd)
-        proxy = PvfsProxy(sim, mount,
-                          cache_bytes=512 * MB if cache_on else 0,
-                          name="pvfs@compute")
-        base = DiskImage(proxy, _IMAGE, IMAGE_BYTES)
-
-        times: List[float] = []
-
-        def one(sim, index):
-            config = VmConfig("vm%d" % index, memory_mb=GUEST_MEMORY_MB,
-                              guest_profile=guest_profile())
-            vm = vmm.create_vm(config, base, disk_mode="nonpersistent",
-                               remote_cpu_per_byte=vmm.costs
-                               .remote_state_cpu_per_byte,
-                               rng=streams.stream("vm%d" % index))
-            duration = yield from vmm.power_on(
-                vm, mode="restore", memstate=(proxy, _MEMSTATE),
-                memstate_is_remote=True)
-            vmm.destroy(vm)
-            return duration
-
-        for index in range(instantiations):
-            times.append(sim.run_until_complete(
-                sim.spawn(one(sim, index),
-                          name="ablation.proxycache.%d" % index)))
-        results.append(ProxyCacheResult(cache_on, times))
-    return results
+    tasks = [(cache_on, instantiations, seed)
+             for cache_on in (True, False)]
+    return run_replications(_proxy_cache_world, tasks, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -160,66 +166,73 @@ class SchedulerAblationRow:
         return abs(self.achieved - self.target)
 
 
-def run_scheduler_ablation(duration: float = 400.0,
-                           seed: int = 0) -> List[SchedulerAblationRow]:
-    """Enforce the same owner policy with all five mechanisms."""
+def _scheduler_world(mechanism: str, duration: float,
+                     seed: int) -> List[SchedulerAblationRow]:
+    """One mechanism enforcing the compiled policy in a fresh world."""
     rows: List[SchedulerAblationRow] = []
-    for mechanism in MECHANISMS:
-        sim = Simulation()
-        streams = RandomStreams(seed)
-        cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
-        vm1 = TaskGroup("vm1")
-        vm2 = TaskGroup("vm2")
-        local_group = TaskGroup("local")
-        feed = {}
-        for group in (vm1, vm2):
-            task = CpuTask("work-" + group.name, work=10 * duration,
-                           group=group)
-            cpu.submit(task)
-            feed[group.name] = task
-        # The owner's local workload, always demanding.
-        local = CpuTask("local-work", work=10 * duration, group=local_group)
-        cpu.submit(local)
+    sim = Simulation()
+    streams = RandomStreams(seed)
+    cpu = ProcessorSharingCpu(sim, cores=1, context_switch_cost=0.0)
+    vm1 = TaskGroup("vm1")
+    vm2 = TaskGroup("vm2")
+    local_group = TaskGroup("local")
+    feed = {}
+    for group in (vm1, vm2):
+        task = CpuTask("work-" + group.name, work=10 * duration,
+                       group=group)
+        cpu.submit(task)
+        feed[group.name] = task
+    # The owner's local workload, always demanding.
+    local = CpuTask("local-work", work=10 * duration, group=local_group)
+    cpu.submit(local)
 
-        controller = None
-        if mechanism == "group-cap":
-            cpu.update_group(vm1, max_rate=_TARGETS["vm1"])
-            cpu.update_group(vm2, max_rate=_TARGETS["vm2"])
-        elif mechanism == "periodic":
-            controller = PeriodicEnforcer(cpu, {
-                vm1: (0.1 * _TARGETS["vm1"], 0.1),
-                vm2: (0.1 * _TARGETS["vm2"], 0.1),
-            })
-            controller.start()
-        elif mechanism == "lottery":
-            controller = LotteryScheduler(
-                cpu, {vm1: 3, vm2: 1, local_group: 4}, quantum=0.05,
-                rng=streams.stream("lottery"))
-            controller.start()
-        elif mechanism == "wfq":
-            controller = WfqScheduler(
-                cpu, {vm1: 3.0, vm2: 1.0, local_group: 4.0}, quantum=0.05)
-            controller.start()
-        elif mechanism == "sigstop":
-            controllers = [
-                DutyCycleModulator(cpu, vm1, duty=_TARGETS["vm1"],
-                                   period=1.0, signal_cost=0.0),
-                DutyCycleModulator(cpu, vm2, duty=_TARGETS["vm2"],
-                                   period=1.0, signal_cost=0.0),
-            ]
-            for modulator in controllers:
-                modulator.start()
-        else:  # pragma: no cover
-            raise SimulationError("unknown mechanism %r" % mechanism)
+    controller = None
+    if mechanism == "group-cap":
+        cpu.update_group(vm1, max_rate=_TARGETS["vm1"])
+        cpu.update_group(vm2, max_rate=_TARGETS["vm2"])
+    elif mechanism == "periodic":
+        controller = PeriodicEnforcer(cpu, {
+            vm1: (0.1 * _TARGETS["vm1"], 0.1),
+            vm2: (0.1 * _TARGETS["vm2"], 0.1),
+        })
+        controller.start()
+    elif mechanism == "lottery":
+        controller = LotteryScheduler(
+            cpu, {vm1: 3, vm2: 1, local_group: 4}, quantum=0.05,
+            rng=streams.stream("lottery"))
+        controller.start()
+    elif mechanism == "wfq":
+        controller = WfqScheduler(
+            cpu, {vm1: 3.0, vm2: 1.0, local_group: 4.0}, quantum=0.05)
+        controller.start()
+    elif mechanism == "sigstop":
+        controllers = [
+            DutyCycleModulator(cpu, vm1, duty=_TARGETS["vm1"],
+                               period=1.0, signal_cost=0.0),
+            DutyCycleModulator(cpu, vm2, duty=_TARGETS["vm2"],
+                               period=1.0, signal_cost=0.0),
+        ]
+        for modulator in controllers:
+            modulator.start()
+    else:  # pragma: no cover
+        raise SimulationError("unknown mechanism %r" % mechanism)
 
-        sim.run(until=duration)
-        cpu.sync()
-        for name, target in _TARGETS.items():
-            task = feed[name]
-            achieved = (task.work - task.remaining) / duration
-            rows.append(SchedulerAblationRow(mechanism, name, target,
-                                             achieved))
+    sim.run(until=duration)
+    cpu.sync()
+    for name, target in _TARGETS.items():
+        task = feed[name]
+        achieved = (task.work - task.remaining) / duration
+        rows.append(SchedulerAblationRow(mechanism, name, target,
+                                         achieved))
     return rows
+
+
+def run_scheduler_ablation(duration: float = 400.0, seed: int = 0,
+                           workers: int = 1) -> List[SchedulerAblationRow]:
+    """Enforce the same owner policy with all five mechanisms."""
+    tasks = [(mechanism, duration, seed) for mechanism in MECHANISMS]
+    grouped = run_replications(_scheduler_world, tasks, workers=workers)
+    return [row for rows in grouped for row in rows]
 
 
 # ---------------------------------------------------------------------------
@@ -239,59 +252,64 @@ class StagingPoint:
         return self.on_demand_time < self.staged_time
 
 
+def _staging_point(fraction: float, image_bytes: int) -> StagingPoint:
+    """One working-set fraction: staged vs on-demand in fresh worlds."""
+    touched = int(image_bytes * fraction)
+
+    def world():
+        sim = Simulation()
+        net = Network.two_site_wan(sim, "uf", ["compute"], "nw",
+                                   ["image"])
+        engine = FlowEngine(sim, net)
+        compute = PhysicalMachine(sim, "compute", site="uf",
+                                  spec=compute_node_spec())
+        host = PhysicalHost(compute, cache_bytes=256 * MB)
+        image_machine = PhysicalMachine(sim, "image", site="nw",
+                                        spec=compute_node_spec())
+        image_host = PhysicalHost(image_machine, cache_bytes=512 * MB)
+        image_host.root_fs.create(_IMAGE, image_bytes)
+        return sim, net, engine, host, image_host
+
+    # Strategy 1: on-demand block access through NFS.
+    sim, _net, engine, host, image_host = world()
+    nfsd = NfsServer(sim, "image", image_host.root_fs, engine)
+    mount = NfsClient(sim, "compute", engine,
+                      cache_bytes=32 * MB).mount(nfsd)
+
+    def on_demand(sim, mount=mount, touched=touched):
+        yield from mount.read(_IMAGE, 0, touched, sequential=True)
+        return sim.now
+
+    on_demand_time = sim.run_until_complete(
+        sim.spawn(on_demand(sim), name="ablation.ondemand"))
+
+    # Strategy 2: stage the whole file, then read locally.
+    sim, _net, engine, host, image_host = world()
+    stager = FileStager(sim, engine)
+
+    def staged(sim, host=host, image_host=image_host, touched=touched,
+               stager=stager):
+        yield from stager.stage(image_host.root_fs, "image", _IMAGE,
+                                host.root_fs, "compute")
+        yield from host.root_fs.read(_IMAGE, 0, touched,
+                                     sequential=True)
+        return sim.now
+
+    staged_time = sim.run_until_complete(
+        sim.spawn(staged(sim), name="ablation.staged"))
+    return StagingPoint(fraction, on_demand_time, staged_time)
+
+
 def run_staging_ablation(fractions: Sequence[float] = (
         0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0),
-        image_bytes: int = 512 * MB) -> List[StagingPoint]:
+        image_bytes: int = 512 * MB,
+        workers: int = 1) -> List[StagingPoint]:
     """Sweep the touched fraction of an image; compare access strategies."""
-    points = []
     for fraction in fractions:
         if not 0 < fraction <= 1.0:
             raise SimulationError("fractions must be in (0, 1]")
-        touched = int(image_bytes * fraction)
-
-        def world():
-            sim = Simulation()
-            net = Network.two_site_wan(sim, "uf", ["compute"], "nw",
-                                       ["image"])
-            engine = FlowEngine(sim, net)
-            compute = PhysicalMachine(sim, "compute", site="uf",
-                                      spec=compute_node_spec())
-            host = PhysicalHost(compute, cache_bytes=256 * MB)
-            image_machine = PhysicalMachine(sim, "image", site="nw",
-                                            spec=compute_node_spec())
-            image_host = PhysicalHost(image_machine, cache_bytes=512 * MB)
-            image_host.root_fs.create(_IMAGE, image_bytes)
-            return sim, net, engine, host, image_host
-
-        # Strategy 1: on-demand block access through NFS.
-        sim, _net, engine, host, image_host = world()
-        nfsd = NfsServer(sim, "image", image_host.root_fs, engine)
-        mount = NfsClient(sim, "compute", engine,
-                          cache_bytes=32 * MB).mount(nfsd)
-
-        def on_demand(sim, mount=mount, touched=touched):
-            yield from mount.read(_IMAGE, 0, touched, sequential=True)
-            return sim.now
-
-        on_demand_time = sim.run_until_complete(
-            sim.spawn(on_demand(sim), name="ablation.ondemand"))
-
-        # Strategy 2: stage the whole file, then read locally.
-        sim, _net, engine, host, image_host = world()
-        stager = FileStager(sim, engine)
-
-        def staged(sim, host=host, image_host=image_host, touched=touched,
-                   stager=stager):
-            yield from stager.stage(image_host.root_fs, "image", _IMAGE,
-                                    host.root_fs, "compute")
-            yield from host.root_fs.read(_IMAGE, 0, touched,
-                                         sequential=True)
-            return sim.now
-
-        staged_time = sim.run_until_complete(
-            sim.spawn(staged(sim), name="ablation.staged"))
-        points.append(StagingPoint(fraction, on_demand_time, staged_time))
-    return points
+    tasks = [(fraction, image_bytes) for fraction in fractions]
+    return run_replications(_staging_point, tasks, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -323,9 +341,22 @@ def _scaled_costs(multiplier: float):
     )
 
 
+def _vmm_cost_point(multiplier: float, scale: float, seed: int,
+                    physical_cpu_time: float) -> VmmCostPoint:
+    """One multiplier: a fresh VM world against the shared baseline."""
+    from repro.experiments.table1 import macro_run
+    from repro.workloads.applications import spec_climate
+
+    result = macro_run(lambda: spec_climate(scale), "vm-localdisk",
+                       seed=seed, costs=_scaled_costs(multiplier))
+    overhead = result.cpu_time / physical_cpu_time - 1.0
+    return VmmCostPoint(multiplier, overhead)
+
+
 def run_vmm_cost_sensitivity(multipliers: Sequence[float] = (
         0.25, 0.5, 1.0, 2.0, 4.0),
-        scale: float = 0.25, seed: int = 0) -> List[VmmCostPoint]:
+        scale: float = 0.25, seed: int = 0,
+        workers: int = 1) -> List[VmmCostPoint]:
     """SPECclimate's VM overhead as the trap-and-emulate costs scale.
 
     Implementation optimizations (VM assists, paravirtual devices)
@@ -336,14 +367,11 @@ def run_vmm_cost_sensitivity(multipliers: Sequence[float] = (
     from repro.experiments.table1 import macro_run
     from repro.workloads.applications import spec_climate
 
-    points = []
-    physical = macro_run(lambda: spec_climate(scale), "physical",
-                         seed=seed)
     for multiplier in multipliers:
         if multiplier <= 0:
             raise SimulationError("multipliers must be positive")
-        result = macro_run(lambda: spec_climate(scale), "vm-localdisk",
-                           seed=seed, costs=_scaled_costs(multiplier))
-        overhead = result.cpu_time / physical.cpu_time - 1.0
-        points.append(VmmCostPoint(multiplier, overhead))
-    return points
+    physical = macro_run(lambda: spec_climate(scale), "physical",
+                         seed=seed)
+    tasks = [(multiplier, scale, seed, physical.cpu_time)
+             for multiplier in multipliers]
+    return run_replications(_vmm_cost_point, tasks, workers=workers)

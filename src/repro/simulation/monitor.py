@@ -20,6 +20,8 @@ __all__ = ["StatAccumulator", "TimeSeriesMonitor"]
 class StatAccumulator:
     """Streaming summary statistics over scalar samples."""
 
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.count = 0
@@ -115,6 +117,8 @@ class TimeSeriesMonitor:
     the next sample (a right-continuous step function), which is the
     natural shape for utilizations, levels and queue lengths.
     """
+
+    __slots__ = ("name", "times", "values")
 
     def __init__(self, name: str = ""):
         self.name = name

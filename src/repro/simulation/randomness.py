@@ -54,3 +54,14 @@ class RandomStreams:
     def child(self, name: str) -> "RandomStreams":
         """Derive an independent sub-factory (for nested components)."""
         return RandomStreams(self._derive("child/" + name))
+
+    def spawn_key(self, name: str) -> int:
+        """A deterministic 64-bit child seed for ``name``.
+
+        This is how replication runners derive one seed per replication:
+        the key is a pure function of the root seed and the replication's
+        name/index — never of worker identity, pool size or scheduling
+        order — so fanning replications across processes cannot perturb
+        any draw (see :mod:`repro.experiments.runner`).
+        """
+        return self._derive("spawn/" + name)

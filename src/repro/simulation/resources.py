@@ -23,9 +23,23 @@ __all__ = ["Request", "Resource", "Store", "Container"]
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+
+
+class _StorePut(Event):
+    """A pending or completed ``Store.put``, carrying its item."""
+
+    __slots__ = ("item",)
+
+
+class _ContainerOp(Event):
+    """A pending or completed ``Container`` put/get, carrying its amount."""
+
+    __slots__ = ("amount",)
 
 
 class Resource:
@@ -40,6 +54,8 @@ class Resource:
         finally:
             disk_arm.release(request)
     """
+
+    __slots__ = ("sim", "capacity", "_users", "_waiting")
 
     def __init__(self, sim: Simulation, capacity: int = 1):
         if capacity < 1:
@@ -93,6 +109,8 @@ class Store:
     getters in FIFO order.
     """
 
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, sim: Simulation, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise SimulationError("store capacity must be >= 1 or None")
@@ -107,15 +125,34 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Add ``item``; the returned event fires when the item is stored."""
-        event = Event(self.sim)
+        event = _StorePut(self.sim)
         event.item = item
-        self._putters.append(event)
-        self._drain()
+        if self._putters or (self.capacity is not None
+                             and len(self.items) >= self.capacity):
+            self._putters.append(event)
+            self._drain()
+            return event
+        # Fast path: space available and nobody queued ahead.  The put
+        # event triggers before any getter it feeds, exactly as the
+        # general drain would order them.
+        self.items.append(item)
+        event.succeed()
+        getters = self._getters
+        items = self.items
+        while getters and items:
+            getters.popleft().succeed(items.popleft())
         return event
 
     def get(self) -> Event:
         """Remove one item; the returned event fires with the item."""
         event = Event(self.sim)
+        if self.items and not self._getters:
+            # Fast path: an item is ready and nobody is queued ahead.
+            event.succeed(self.items.popleft())
+            if self._putters:
+                # Freed space may admit a waiting putter (bounded store).
+                self._drain()
+            return event
         self._getters.append(event)
         self._drain()
         return event
@@ -141,6 +178,8 @@ class Store:
 class Container:
     """A continuous quantity (bytes, tokens, ...) with blocking get/put."""
 
+    __slots__ = ("sim", "capacity", "level", "_getters", "_putters")
+
     def __init__(self, sim: Simulation, capacity: float = float("inf"),
                  initial: float = 0.0):
         if initial < 0 or initial > capacity:
@@ -155,7 +194,7 @@ class Container:
         """Add ``amount``; fires when it fits under ``capacity``."""
         if amount < 0:
             raise SimulationError("put amount must be non-negative")
-        event = Event(self.sim)
+        event = _ContainerOp(self.sim)
         event.amount = amount
         self._putters.append(event)
         self._drain()
@@ -165,7 +204,7 @@ class Container:
         """Remove ``amount``; fires when that much is available."""
         if amount < 0:
             raise SimulationError("get amount must be non-negative")
-        event = Event(self.sim)
+        event = _ContainerOp(self.sim)
         event.amount = amount
         self._getters.append(event)
         self._drain()

@@ -321,6 +321,64 @@ def test_r9_suppression():
                  "    print(sim.now)  # simlint: disable=R9\n")
 
 
+# -- R10: pool-size ----------------------------------------------------------
+
+def test_r10_os_cpu_count_fires():
+    assert_fires("import os\nworkers = os.cpu_count()\n", "R10")
+
+
+def test_r10_multiprocessing_cpu_count_fires():
+    assert_fires("import multiprocessing\n"
+                 "n = multiprocessing.cpu_count()\n", "R10")
+
+
+def test_r10_getpid_fires():
+    assert_fires("import os\nstamp = os.getpid()\n", "R10")
+
+
+def test_r10_aliased_cpu_count_fires():
+    # The final attribute alone is damning however the module is bound.
+    assert_fires("import multiprocessing as mp\nn = mp.cpu_count()\n",
+                 "R10")
+
+
+def test_r10_seed_from_worker_count_fires():
+    assert_fires("def seeds(streams, workers):\n"
+                 "    return streams.spawn_key('rep/%d' % workers)\n",
+                 "R10")
+
+
+def test_r10_seed_from_worker_id_keyword_fires():
+    assert_fires("from repro.simulation.randomness import RandomStreams\n"
+                 "def make(worker_id):\n"
+                 "    return RandomStreams(seed=worker_id)\n", "R10")
+
+
+def test_r10_seed_from_identity_call_fires():
+    assert_fires("import os, random\n"
+                 "rng = random.Random(os.getpid())\n", "R10")
+
+
+def test_r10_seed_from_replication_index_clean():
+    # The sanctioned pattern: root seed + replication index only.
+    assert_clean("def seeds(streams, count):\n"
+                 "    return [streams.spawn_key('rep/%d' % index)\n"
+                 "            for index in range(count)]\n")
+
+
+def test_r10_workers_outside_seeding_clean():
+    # Passing a worker count to the harness is the whole point; only
+    # identity reads and pool-derived seeds are flagged.
+    assert_clean("def fan_out(run, tasks, workers):\n"
+                 "    return run(tasks, workers=workers)\n")
+
+
+def test_r10_suppression():
+    assert_clean("import os\n"
+                 "n = os.cpu_count()"
+                 "  # simlint: disable=R10  harness-side pool sizing\n")
+
+
 # -- engine behaviour --------------------------------------------------------
 
 def test_file_level_suppression():
