@@ -1,18 +1,30 @@
 # Development entry points.  `make check` is the CI gate: the simlint
-# static-analysis pass over src/ (non-zero exit on any finding), the
-# tier-1 test suite (which includes the workers=1 vs workers=N
-# parallel-determinism tests), and the observability smoke test (trace
-# determinism + null-tracer overhead guard).
+# static-analysis pass over src/ (per-file rules plus the `--deep`
+# interprocedural pass, ratcheted against analysis-baseline.json so
+# only NEW findings fail), the tier-1 test suite (which includes the
+# workers=1 vs workers=N parallel-determinism tests), the simsan
+# runtime determinism sanitizer over a reduced-scale scenario, and the
+# observability smoke test (trace determinism + null-tracer overhead
+# guard).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test parallel-determinism trace-smoke bench experiments
+.PHONY: check lint baseline test parallel-determinism sanitize \
+	trace-smoke bench experiments
 
-check: lint test parallel-determinism trace-smoke
+check: lint test parallel-determinism sanitize trace-smoke
 
 lint:
-	$(PYTHON) -m repro.analysis src/repro
+	$(PYTHON) -m repro.analysis --deep src/repro \
+	    --baseline analysis-baseline.json
+
+# Regenerate the findings baseline after paying down debt (the ratchet
+# only ever tightens: run this when `lint` reports stale entries, not
+# to absorb new findings).
+baseline:
+	$(PYTHON) -m repro.analysis --deep src/repro \
+	    --write-baseline analysis-baseline.json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +34,12 @@ test:
 # `test`; see docs/performance.md).
 parallel-determinism:
 	$(PYTHON) -m pytest -x -q tests/experiments/test_parallel_determinism.py
+
+# Replay the reduced-scale table2 scenario at seed 42 under simsan:
+# zero hazards required, and the sanitized run's output must match an
+# untraced run byte for byte (the sanitizer is a pure observer).
+sanitize:
+	$(PYTHON) -m repro sanitize table2 --seed 42
 
 # Trace the table2 scenario twice at the same seed: the exported
 # Chrome-trace JSON must be byte-identical, and the null tracer must

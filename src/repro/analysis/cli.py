@@ -2,13 +2,23 @@
 
 Usage::
 
-    python -m repro.analysis [PATH ...] [--format text|json]
+    python -m repro.analysis [PATH ...] [--deep]
+                             [--format text|json|sarif]
                              [--select R1,R4] [--disable R3]
+                             [--baseline FILE] [--write-baseline FILE]
                              [--list-rules]
 
-Exit status: 0 when the tree is clean, 1 when findings were reported,
-2 on usage errors — so CI can gate on it directly (see ``make check``).
-With no paths, the installed ``repro`` package itself is linted.
+``--deep`` adds the interprocedural pass (call graph + taint fixpoint,
+rules R11-R14; see :mod:`repro.analysis.dataflow`) on top of the
+per-file rules.  ``--format sarif`` emits SARIF 2.1.0 for CI ingestion.
+``--baseline`` filters findings down to the ones *not* recorded in a
+baseline file (the ratchet: legacy debt is absorbed, new findings
+fail); ``--write-baseline`` regenerates that file.
+
+Exit status: 0 when the tree is clean (or all findings are baselined),
+1 when findings were reported, 2 on usage errors — so CI can gate on it
+directly (see ``make check``).  With no paths, the installed ``repro``
+package itself is linted.
 """
 
 from __future__ import annotations
@@ -19,10 +29,16 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.baseline import (
+    filter_new,
+    load_baseline,
+    render_baseline,
+)
 from repro.analysis.core import Analyzer, Finding
 from repro.analysis.rules import default_rules
+from repro.analysis.sarif import render_sarif
 
-__all__ = ["build_parser", "main", "run_analysis"]
+__all__ = ["build_parser", "main", "run_analysis", "run_deep_analysis"]
 
 
 def _default_target() -> str:
@@ -40,20 +56,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: the "
                              "installed repro package)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the interprocedural dataflow pass "
+                             "(rules R11-R14)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule codes/names to run "
                              "exclusively")
     parser.add_argument("--disable", default=None, metavar="RULES",
                         help="comma-separated rule codes/names to skip")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="report only findings not recorded in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write the run's findings as a new baseline "
+                             "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the active rule set and exit")
     return parser
 
 
-def _pick_rules(select: Optional[str], disable: Optional[str]):
-    rules = default_rules()
+def _filter_rules(rules, select: Optional[str], disable: Optional[str]):
     if select:
         wanted = {token.strip().lower() for token in select.split(",")
                   if token.strip()}
@@ -67,9 +91,26 @@ def _pick_rules(select: Optional[str], disable: Optional[str]):
     return rules
 
 
+def _pick_rules(select: Optional[str], disable: Optional[str]):
+    return _filter_rules(default_rules(), select, disable)
+
+
+def _pick_deep_rules(select: Optional[str], disable: Optional[str]):
+    from repro.analysis.dataflow import deep_rules
+
+    return _filter_rules(deep_rules(), select, disable)
+
+
 def run_analysis(paths: List[str], rules=None) -> List[Finding]:
     """Lint ``paths`` (or the repro package when empty)."""
     return Analyzer(rules).analyze_paths(paths or [_default_target()])
+
+
+def run_deep_analysis(paths: List[str], rules=None) -> List[Finding]:
+    """Run the interprocedural pass over ``paths``."""
+    from repro.analysis.dataflow import analyze_project
+
+    return analyze_project(paths or [_default_target()], rules=rules)
 
 
 def _render_text(findings: List[Finding], stream) -> None:
@@ -89,24 +130,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     rules = _pick_rules(args.select, args.disable)
+    deep = _pick_deep_rules(args.select, args.disable) if args.deep \
+        else []
     if args.list_rules:
         for rule in rules:
             doc = (sys.modules[type(rule).__module__].__doc__ or "")
             headline = doc.strip().splitlines()[0] if doc.strip() else ""
             print("%s  %-16s %s" % (rule.code, rule.name, headline))
+        for rule in deep:
+            doc = (type(rule).__doc__ or "").strip()
+            headline = doc.splitlines()[0] if doc else ""
+            print("%s %-16s %s" % (rule.code, rule.name, headline))
         return 0
-    if not rules:
+    if not rules and not deep:
         print("simlint: no rules selected", file=sys.stderr)
         return 2
     try:
-        findings = run_analysis(args.paths, rules)
+        findings = run_analysis(args.paths, rules) if rules else []
+        if args.deep and deep:
+            merged = {(f.path, f.line, f.col, f.code, f.message)
+                      for f in findings}
+            for finding in run_deep_analysis(args.paths, deep):
+                key = (finding.path, finding.line, finding.col,
+                       finding.code, finding.message)
+                if key not in merged:
+                    merged.add(key)
+                    findings.append(finding)
+            findings.sort(key=lambda f: f.sort_key)
     except OSError as exc:
         print("simlint: cannot read %s: %s"
               % (exc.filename or "path", exc.strerror or exc),
               file=sys.stderr)
         return 2
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(findings))
+        print("simlint: wrote baseline of %d finding(s) to %s"
+              % (len(findings), args.write_baseline))
+        return 0
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print("simlint: cannot use baseline %s: %s"
+                  % (args.baseline, exc), file=sys.stderr)
+            return 2
+        findings = filter_new(findings, known)
     if args.format == "json":
         _render_json(findings, sys.stdout)
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(findings, rules + deep))
     else:
         _render_text(findings, sys.stdout)
     return 1 if findings else 0

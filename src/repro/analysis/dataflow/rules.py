@@ -1,0 +1,278 @@
+"""The interprocedural rules R11–R14, powered by the taint engine.
+
+Unlike the per-file rules in :mod:`repro.analysis.rules`, a
+:class:`DeepRule` sees the whole project at once — the symbol table,
+the call graph and the taint fixpoint — so it can flag flows the
+single-file pass structurally cannot:
+
+* **R11** ``tainted-sim-state`` — a wall-clock / entropy /
+  worker-identity value reaches simulation state (an event delay or
+  value, a spawn, an RNG seed, a heap key), possibly through any number
+  of function and module boundaries.
+* **R12** ``rng-stream-escape`` — a ``sim.streams`` child is re-seeded,
+  or handed to code that re-seeds it or forks a new generator from its
+  draws; either way the stream's future draws stop being a pure
+  function of the root seed.
+* **R13** ``helper-event-discarded`` — a call to a *helper* that
+  (transitively) returns an :class:`Event` is used as a bare statement,
+  so the event is lost; the call-graph-aware sibling of R4.
+* **R14** ``unordered-key-taint`` — a value whose *order* is hash- or
+  filesystem-dependent flows into a scheduling key or into trace /
+  metric output, making timelines and metrics differ run to run.
+
+Deep rules register with :func:`register_deep`; :func:`deep_rules`
+returns fresh instances in code order, mirroring the per-file registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.core import Finding
+from repro.analysis.dataflow.taint import (
+    ENTROPY,
+    UNORDERED,
+    WALLCLOCK,
+    WORKER,
+    CallSite,
+    TaintEngine,
+)
+
+__all__ = ["DeepRule", "register_deep", "deep_rules",
+           "registered_deep_rule_classes", "TaintedSimStateRule",
+           "RngStreamEscapeRule", "HelperEventDiscardedRule",
+           "UnorderedKeyTaintRule"]
+
+_DEEP_REGISTRY: List[Type["DeepRule"]] = []
+
+
+def register_deep(rule_class: Type["DeepRule"]) -> Type["DeepRule"]:
+    """Class decorator: add a DeepRule subclass to the deep rule set."""
+    if not (isinstance(rule_class, type)
+            and issubclass(rule_class, DeepRule)):
+        raise TypeError("register_deep() expects a DeepRule subclass, "
+                        "got %r" % (rule_class,))
+    if any(existing.code == rule_class.code
+           for existing in _DEEP_REGISTRY):
+        raise ValueError("duplicate deep rule code %s" % rule_class.code)
+    _DEEP_REGISTRY.append(rule_class)
+    return rule_class
+
+
+def registered_deep_rule_classes() -> List[Type["DeepRule"]]:
+    """The registered classes, sorted by code (R12 before R13)."""
+    return sorted(_DEEP_REGISTRY,
+                  key=lambda cls: (len(cls.code), cls.code))
+
+
+def deep_rules() -> List["DeepRule"]:
+    """Fresh instances of every registered deep rule."""
+    return [cls() for cls in registered_deep_rule_classes()]
+
+
+class DeepRule:
+    """Base class for whole-program rules.
+
+    Subclasses set ``code``/``name`` and implement :meth:`check_project`,
+    yielding :class:`~repro.analysis.core.Finding` objects.  Findings
+    use the same shape, sorting, and suppression machinery as the
+    per-file rules, so one CLI renders both.
+    """
+
+    code: str = "R0"
+    name: str = "abstract-deep-rule"
+
+    def check_project(self,
+                      engine: TaintEngine) -> Iterator[Finding]:
+        """Yield findings over the analyzed project."""
+        return iter(())  # pragma: no cover
+
+    def finding(self, site: CallSite, message: str) -> Finding:
+        node = site.node
+        return Finding(site.caller.module.path, node.lineno,
+                       node.col_offset + 1, self.code, self.name, message)
+
+    def __repr__(self) -> str:
+        return "<DeepRule %s %s>" % (self.code, self.name)
+
+
+def _callee_label(site: CallSite) -> str:
+    if site.func_attr is not None:
+        return site.func_attr
+    res = site.resolution
+    if res.target is not None:
+        return res.target.name
+    return (res.external or "call").rsplit(".", 1)[-1]
+
+
+#: Sinks that feed simulation state: event creation/values, process
+#: spawns, RNG seeding, heap keys.
+_SIM_STATE_SINKS = frozenset({"timeout", "succeed", "fail", "spawn",
+                              "process", "seed", "heappush"})
+
+#: Constructors whose argument becomes an RNG seed.
+_SEEDING_CALLS = frozenset({"random.Random", "numpy.random.default_rng",
+                            "repro.simulation.randomness.RandomStreams",
+                            "heapq.heappush"})
+
+
+def _is_sink(site: CallSite, names: frozenset) -> bool:
+    if site.func_attr in names:
+        return True
+    res = site.resolution
+    external = res.external or ""
+    if external in _SEEDING_CALLS:
+        return True
+    return bool(res.is_constructor and external
+                and external.rsplit(".", 1)[-1]
+                in ("Random", "RandomStreams"))
+
+
+@register_deep
+class TaintedSimStateRule(DeepRule):
+    """R11: host nondeterminism flowing into sim state (cross-function)."""
+
+    code = "R11"
+    name = "tainted-sim-state"
+
+    _KINDS = {WALLCLOCK, ENTROPY, WORKER}
+
+    def check_project(self, engine: TaintEngine) -> Iterator[Finding]:
+        for qualname in sorted(engine.call_sites):
+            for site in engine.call_sites[qualname]:
+                if not _is_sink(site, _SIM_STATE_SINKS):
+                    continue
+                for arg, kinds in site.tainted_args(self._KINDS):
+                    yield self.finding(
+                        site,
+                        "argument %s of %s() carries %s taint — sim "
+                        "state must be a pure function of the seed; "
+                        "derive the value from sim.now or sim.streams"
+                        % (arg.label, _callee_label(site),
+                           "/".join(sorted(kinds))))
+
+
+@register_deep
+class RngStreamEscapeRule(DeepRule):
+    """R12: a named RNG stream re-seeded or forked non-derivably."""
+
+    code = "R12"
+    name = "rng-stream-escape"
+
+    def check_project(self, engine: TaintEngine) -> Iterator[Finding]:
+        for qualname in sorted(engine.call_sites):
+            for site in engine.call_sites[qualname]:
+                yield from self._check_site(engine, site)
+
+    def _check_site(self, engine: TaintEngine,
+                    site: CallSite) -> Iterator[Finding]:
+        # Direct re-seed of a stream value in hand.
+        if site.func_attr == "seed" and site.receiver_is_stream:
+            yield self.finding(
+                site,
+                "re-seeding a sim.streams stream discards its "
+                "derivation from the root seed and correlates it with "
+                "other consumers; request a fresh named stream instead")
+            return
+        # A stream handed to a function that re-seeds/forks the
+        # corresponding parameter.
+        res = site.resolution
+        if res.target is not None:
+            callee = engine.summary(res.target.qualname)
+            if callee is not None and callee.reseed_params:
+                params = callee.info.params
+                offset = 1 if params and params[0] in ("self", "cls") \
+                    else 0
+                for index, arg in enumerate(site.node.args):
+                    slot = index + offset
+                    if slot >= len(params) or \
+                            params[slot] not in callee.reseed_params:
+                        continue
+                    info = site.args[index] if index < len(site.args) \
+                        else None
+                    if info is not None and info.is_stream:
+                        yield self.finding(
+                            site,
+                            "RNG stream escapes to %s(), which re-seeds "
+                            "or forks parameter '%s'; streams must stay "
+                            "derivable from the root seed"
+                            % (res.target.name, params[slot]))
+        # A new generator forked from a stream's draws at this site.
+        if _is_fork_site(site):
+            for arg in site.args:
+                if arg.draws_stream:
+                    yield self.finding(
+                        site,
+                        "new generator seeded from a stream's draws: "
+                        "the child depends on the stream's consumption "
+                        "position, not the root seed; use "
+                        "streams.child()/spawn_key() instead")
+
+
+_FORK_CALLS = frozenset({"random.Random", "numpy.random.default_rng",
+                         "repro.simulation.randomness.RandomStreams"})
+
+
+def _is_fork_site(site: CallSite) -> bool:
+    res = site.resolution
+    external = res.external or ""
+    if external in _FORK_CALLS:
+        return True
+    return bool(res.is_constructor and external
+                and external.rsplit(".", 1)[-1]
+                in ("Random", "RandomStreams"))
+
+
+@register_deep
+class HelperEventDiscardedRule(DeepRule):
+    """R13: discarding the Event returned (transitively) by a helper."""
+
+    code = "R13"
+    name = "helper-event-discarded"
+
+    def check_project(self, engine: TaintEngine) -> Iterator[Finding]:
+        for qualname in sorted(engine.call_sites):
+            for site in engine.call_sites[qualname]:
+                if not site.is_bare_stmt:
+                    continue
+                res = site.resolution
+                if res.target is None or res.is_constructor:
+                    continue
+                callee = engine.summary(res.target.qualname)
+                if callee is None or not callee.returns_event or \
+                        callee.info.is_generator:
+                    continue
+                yield self.finding(
+                    site,
+                    "%s() returns an Event (via its call graph) but the "
+                    "result is discarded — the event is lost; yield it "
+                    "or store it" % res.target.name)
+
+
+#: Sinks where iteration order becomes observable: scheduling keys and
+#: trace/metric output.
+_ORDER_SINKS = frozenset({"timeout", "succeed", "fail", "spawn",
+                          "process", "seed", "heappush", "instant",
+                          "begin", "counter", "gauge", "histogram"})
+
+
+@register_deep
+class UnorderedKeyTaintRule(DeepRule):
+    """R14: hash/filesystem iteration order reaching keys or output."""
+
+    code = "R14"
+    name = "unordered-key-taint"
+
+    def check_project(self, engine: TaintEngine) -> Iterator[Finding]:
+        for qualname in sorted(engine.call_sites):
+            for site in engine.call_sites[qualname]:
+                if not _is_sink(site, _ORDER_SINKS):
+                    continue
+                for arg, _kinds in site.tainted_args({UNORDERED}):
+                    yield self.finding(
+                        site,
+                        "argument %s of %s() derives from unordered "
+                        "iteration (set / directory listing): scheduling "
+                        "keys and trace/metric output must not depend "
+                        "on hash or filesystem order; sort first"
+                        % (arg.label, _callee_label(site)))

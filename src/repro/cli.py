@@ -9,13 +9,18 @@ Usage::
     python -m repro overlay
     python -m repro migration
     python -m repro all
-    python -m repro analyze [--path SRC ...] [--json]
+    python -m repro analyze [--path SRC ...] [--deep] [--json | --sarif]
+                            [--baseline FILE]
+    python -m repro sanitize {figure1,table1,table2} [--seed N]
     python -m repro trace {figure1,table1,table2} [--out trace.json]
     python -m repro metrics {figure1,table1,table2} [--json]
 
 Each experiment command prints the same tables the benchmark harness
 archives; ``analyze`` runs the simlint static-analysis pass (see
-``docs/static_analysis.md``) and exits non-zero on findings.  ``trace``
+``docs/static_analysis.md``) and exits non-zero on findings —
+``--deep`` adds the interprocedural dataflow rules R11-R14.
+``sanitize`` replays a scenario under the simsan runtime determinism
+sanitizer and exits non-zero on hazards or output divergence.  ``trace``
 replays a representative session life cycle for an experiment and
 writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
 ``metrics`` prints the metrics registry after the same run.  See
@@ -177,9 +182,38 @@ def _cmd_analyze(args) -> int:
     from repro.analysis.cli import main as simlint_main
 
     argv = list(args.path or [])
-    if args.json:
+    if args.deep:
+        argv.append("--deep")
+    if args.sarif:
+        argv.append("--format=sarif")
+    elif args.json:
         argv.append("--format=json")
+    if args.baseline:
+        argv.append("--baseline=%s" % args.baseline)
     return simlint_main(argv)
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.analysis.sanitizer import DeterminismSanitizer
+    from repro.obs.runner import run_scenario
+
+    target = _require_target(args)
+    sanitizer = DeterminismSanitizer()
+    sim = run_scenario(target, seed=args.seed, tracer=sanitizer)
+    hazards = sanitizer.finish()
+    # The sanitizer must be a pure observer: replay the scenario
+    # untraced and require byte-identical experiment output.
+    plain = run_scenario(target, seed=args.seed)
+    identical = (sim.now == plain.now  # simlint: disable=R6  bytewise
+                 and sim.metrics.to_json() == plain.metrics.to_json())
+    for hazard in hazards:
+        print(hazard.render())
+    print("simsan: %s, seed %d: %d hazard(s), %.2f simulated seconds, "
+          "output %s"
+          % (target, args.seed, len(hazards), sim.now,
+             "identical to untraced run" if identical
+             else "DIVERGED from untraced run"))
+    return 1 if hazards or not identical else 0
 
 
 _COMMANDS = {
@@ -190,6 +224,7 @@ _COMMANDS = {
     "overlay": _cmd_overlay,
     "migration": _cmd_migration,
     "analyze": _cmd_analyze,
+    "sanitize": _cmd_sanitize,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
 }
@@ -225,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "default: the installed repro package)")
     parser.add_argument("--json", action="store_true",
                         help="analyze: emit findings as JSON")
+    parser.add_argument("--deep", action="store_true",
+                        help="analyze: add the interprocedural pass "
+                             "(rules R11-R14)")
+    parser.add_argument("--sarif", action="store_true",
+                        help="analyze: emit findings as SARIF 2.1.0")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="analyze: report only findings not in this "
+                             "baseline file")
     return parser
 
 

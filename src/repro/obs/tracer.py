@@ -107,6 +107,15 @@ class Tracer:
     def on_event_fired(self, sim, event) -> None:
         """The kernel popped an event and is about to run its callbacks."""
 
+    def on_event_observed(self, sim, event) -> None:
+        """An already-processed event's value was consumed by a waiter.
+
+        Fired on the fast resume path (a process yields an event that
+        has already run its callbacks) and when a condition folds in an
+        already-processed sub-event.  Used by the determinism sanitizer
+        to retire lost-event candidates.
+        """
+
     def on_clock_advanced(self, sim, previous: float, now: float) -> None:
         """The virtual clock moved forward."""
 
@@ -121,6 +130,12 @@ class Tracer:
 
     def on_process_terminated(self, sim, process, ok: bool) -> None:
         """A process generator finished (ok) or raised (not ok)."""
+
+    def on_resource_acquired(self, sim, resource, request) -> None:
+        """A Resource slot was granted to ``request``."""
+
+    def on_resource_released(self, sim, resource, request) -> None:
+        """A granted Resource slot was returned."""
 
     def __repr__(self) -> str:
         return "<%s enabled=%s>" % (type(self).__name__, self.enabled)

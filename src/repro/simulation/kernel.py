@@ -287,6 +287,8 @@ class Process(Event):
                 callbacks.append(self._resume)
                 break
             # Event already processed: resume immediately with its value.
+            if sim._tracing:
+                sim.trace.on_event_observed(sim, next_event)
             event = next_event
 
         sim._active_process = None
@@ -327,6 +329,8 @@ class Condition(Event):
             return
         for event in self._events:
             if event.callbacks is None:
+                if sim._tracing:
+                    sim.trace.on_event_observed(sim, event)
                 self._check(event)
             else:
                 event.callbacks.append(self._check)

@@ -11,16 +11,37 @@ Two collectors are provided:
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["StatAccumulator", "TimeSeriesMonitor"]
+__all__ = ["StatAccumulator", "TimeSeriesMonitor", "set_merge_audit"]
+
+#: Optional audit hook ``(target, part) -> None`` consulted at the top
+#: of every :meth:`StatAccumulator.merge`.  Installed by the runtime
+#: determinism sanitizer (simsan) to check canonical fold order; None
+#: (the default) costs one module-global load per merge.  One slot: a
+#: second installer replaces the first.
+_merge_audit: Optional[Callable] = None
+
+
+def set_merge_audit(hook: Optional[Callable]) -> None:
+    """Install (or with None, remove) the accumulator merge audit hook."""
+    global _merge_audit
+    _merge_audit = hook
 
 
 class StatAccumulator:
     """Streaming summary statistics over scalar samples."""
 
-    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum")
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum",
+                 "_seq")
+
+    #: Process-wide creation counter; ``_seq`` gives every accumulator a
+    #: stable creation rank so the merge audit can verify that parts are
+    #: folded in the order they were created (the replication runner's
+    #: canonical task order).  Never feeds into any statistic.
+    _creation_counter = itertools.count()
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -29,6 +50,20 @@ class StatAccumulator:
         self._m2 = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._seq: Optional[int] = next(StatAccumulator._creation_counter)
+
+    def __getstate__(self):
+        # ``_seq`` ranks creations within ONE process; a pickled copy
+        # (a pool worker's part coming home) carries no comparable rank,
+        # so it crosses the boundary as None and the merge audit skips
+        # it rather than comparing apples to oranges.
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot != "_seq"}
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._seq = None
 
     def add(self, value: float) -> None:
         """Record one sample."""
@@ -56,6 +91,8 @@ class StatAccumulator:
         independent components are combined into one summary.  Returns
         ``self`` for chaining.
         """
+        if _merge_audit is not None:
+            _merge_audit(self, other)
         if other.count == 0:
             return self
         if self.count == 0:

@@ -23,11 +23,15 @@ __all__ = ["Request", "Resource", "Store", "Container"]
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "owner")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+        #: The process that issued the request (None outside a process).
+        #: Captured at creation — a queued request may be *granted* while
+        #: some other process is active (the releaser's wake-up loop).
+        self.owner = resource.sim.active_process
 
 
 class _StorePut(Event):
@@ -81,6 +85,8 @@ class Resource:
         if len(self._users) < self.capacity:
             self._users.add(req)
             req.succeed()
+            if self.sim._tracing:
+                self.sim.trace.on_resource_acquired(self.sim, self, req)
         else:
             self._waiting.append(req)
         return req
@@ -89,6 +95,8 @@ class Resource:
         """Return a previously granted slot, waking the next waiter."""
         if request in self._users:
             self._users.remove(request)
+            if self.sim._tracing:
+                self.sim.trace.on_resource_released(self.sim, self, request)
         elif request in self._waiting:
             # Cancelling a request that was never granted.
             self._waiting.remove(request)
@@ -99,6 +107,8 @@ class Resource:
             nxt = self._waiting.popleft()
             self._users.add(nxt)
             nxt.succeed()
+            if self.sim._tracing:
+                self.sim.trace.on_resource_acquired(self.sim, self, nxt)
 
 
 class Store:

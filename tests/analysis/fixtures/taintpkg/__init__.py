@@ -1,0 +1,7 @@
+"""Fixture package for the interprocedural dataflow tests.
+
+Never imported — only parsed by the analyzer.  Every deliberate
+violation is exercised cross-module so the tests prove call-graph
+resolution, not just per-file matching; ``clean.py`` holds flows that
+must stay silent.
+"""

@@ -1,0 +1,18 @@
+"""Flows that must stay silent, including a justified suppression."""
+
+
+def good_delay(sim, rng):
+    yield sim.timeout(rng.expovariate(1.0))
+
+
+def good_wait(sim):
+    probe = sim.timeout(2.0)
+    yield probe
+
+
+def good_spawn(sim):
+    sim.spawn(good_wait(sim))
+
+
+def suppressed(sim, rng):
+    rng.seed(9)  # simlint: disable=R12  calibration fixture

@@ -1,0 +1,20 @@
+"""Nondeterminism sources, exported for other fixture modules."""
+
+import os
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return stamp() * 0.5
+
+
+def token():
+    return os.urandom(8)
+
+
+def worker_rank():
+    return os.getpid() % 4

@@ -1,0 +1,17 @@
+"""Event helpers and an RNG re-seeder, called from model.py."""
+
+
+def make_probe(sim):
+    return sim.timeout(2.0)
+
+
+def chained_probe(sim):
+    return make_probe(sim)
+
+
+def reseed(rng):
+    rng.seed(123)
+
+
+def consume(sim, probe):
+    yield probe

@@ -1,0 +1,11 @@
+"""Iteration-order flows: emit_labels is unsafe, emit_sorted launders."""
+
+
+def emit_labels(sim, labels):
+    for label in labels:
+        sim.trace.instant(label)
+
+
+def emit_sorted(sim, labels):
+    for label in sorted(labels):
+        sim.trace.instant(label)

@@ -1,0 +1,44 @@
+"""Cross-module flows every deep rule must catch."""
+
+import random
+
+from taintpkg.clock import jitter, token, worker_rank
+from taintpkg.helpers import chained_probe, make_probe, reseed
+
+
+def schedule(sim):
+    delay = jitter()
+    yield sim.timeout(delay)
+
+
+def seed_from_entropy(sim):
+    sim.streams.seed(token())
+
+
+def stagger_by_worker(sim):
+    yield sim.timeout(worker_rank())
+
+
+def kick(sim):
+    make_probe(sim)
+    yield sim.timeout(1.0)
+
+
+def kick_chained(sim):
+    chained_probe(sim)
+    yield sim.timeout(1.0)
+
+
+def wire(sim):
+    rng = sim.streams.stream("model")
+    reseed(rng)
+
+
+def direct(sim):
+    rng = sim.streams.stream("direct")
+    rng.seed(7)
+
+
+def forked(sim):
+    rng = sim.streams.stream("fork")
+    return random.Random(rng.random())

@@ -1,0 +1,16 @@
+"""Callers that push set-ness and streams across module boundaries."""
+
+from taintpkg.clean import suppressed
+from taintpkg.keys import emit_labels, emit_sorted
+
+
+def trace_all(sim, names):
+    emit_labels(sim, set(names))
+
+
+def trace_sorted(sim, names):
+    emit_sorted(sim, set(names))
+
+
+def calibrate(sim):
+    suppressed(sim, sim.streams.stream("cal"))

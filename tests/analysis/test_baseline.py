@@ -1,0 +1,95 @@
+"""The findings baseline ratchet: absorb recorded debt, fail on new."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    filter_new,
+    fingerprint,
+    load_baseline,
+    make_baseline,
+    render_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.core import Finding
+
+
+def finding(path="src/a.py", line=10, code="R2", message="wall clock"):
+    return Finding(path, line, 1, code, "slug", message)
+
+
+class TestFingerprint:
+    def test_line_numbers_do_not_matter(self):
+        assert fingerprint(finding(line=10)) == fingerprint(finding(line=99))
+
+    def test_path_code_and_message_do_matter(self):
+        base = fingerprint(finding())
+        assert fingerprint(finding(path="src/b.py")) != base
+        assert fingerprint(finding(code="R3")) != base
+        assert fingerprint(finding(message="other")) != base
+
+
+class TestRatchet:
+    def test_known_findings_are_absorbed(self):
+        old = [finding(line=10), finding(path="src/b.py")]
+        baseline = {fingerprint(f): 1 for f in old}
+        moved = [finding(line=55), finding(path="src/b.py")]
+        assert filter_new(moved, baseline) == []
+
+    def test_new_findings_surface(self):
+        baseline = {fingerprint(finding()): 1}
+        fresh = finding(path="src/new.py")
+        assert filter_new([finding(), fresh], baseline) == [fresh]
+
+    def test_counts_bound_absorption(self):
+        # Two recorded findings absorb two, the third is new debt.
+        baseline = {fingerprint(finding()): 2}
+        three = [finding(line=n) for n in (1, 2, 3)]
+        assert len(filter_new(three, baseline)) == 1
+
+    def test_round_trip_through_disk(self, tmp_path):
+        findings = [finding(), finding(line=20), finding(code="R3")]
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline(findings))
+        assert filter_new(findings, load_baseline(str(path))) == []
+
+    def test_document_is_versioned_and_sorted(self):
+        document = make_baseline([finding(code="R3"), finding()])
+        assert document["version"] == 1
+        entries = [(e["path"], e["code"]) for e in document["findings"]]
+        assert entries == sorted(entries)
+
+    def test_bad_baseline_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+class TestCliIntegration:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "old.py").write_text(VIOLATION)
+        return tmp_path
+
+    def test_write_then_gate(self, tree, capsys):
+        baseline = tree / "baseline.json"
+        assert main([str(tree), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # Same debt: gate passes.
+        assert main([str(tree), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # New finding in a new file: gate fails and reports only it.
+        (tree / "new.py").write_text(VIOLATION)
+        assert main([str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "new.py" in out and "old.py" not in out
+
+    def test_missing_baseline_is_a_usage_error(self, tree, capsys):
+        code = main([str(tree), "--baseline", str(tree / "nope.json")])
+        capsys.readouterr()
+        assert code == 2
