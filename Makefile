@@ -11,9 +11,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint baseline test parallel-determinism sanitize \
-	trace-smoke bench experiments
+	trace-smoke golden-guard bench bench-experiments experiments
 
-check: lint test parallel-determinism sanitize trace-smoke
+check: lint test parallel-determinism sanitize trace-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
@@ -52,11 +52,26 @@ trace-smoke:
 	$(PYTHON) -m pytest -x -q tests/obs/test_overhead_guard.py \
 	    tests/obs/test_trace_determinism.py
 
+# Model-layer fast paths must be invisible: regenerate Table 2 at
+# seed 42 and byte-compare it against the committed golden (recorded
+# before the fast paths landed — see docs/performance.md).
+golden-guard:
+	$(PYTHON) -m repro table2 --seed 42 > .golden-guard-table2.txt
+	cmp benchmarks/goldens/table2-seed42.txt .golden-guard-table2.txt
+	rm -f .golden-guard-table2.txt
+
 # Kernel throughput microbenchmark: regenerates BENCH_kernel.json at
 # the repo root (events/sec for the hot-path workloads, pre-PR
 # baseline, and the speedup ratio — see docs/performance.md).
-bench:
+bench: bench-experiments
 	$(PYTHON) -m pytest -x -q benchmarks/test_kernel_throughput.py
+
+# End-to-end experiment benchmark: wall-clock of figure1/table2 at
+# samples=1000 plus the staging ablation and scenario events/sec;
+# regenerates BENCH_experiments.json at the repo root.  The table2 run
+# alone takes minutes — this is a deliberate full-scale measurement.
+bench-experiments:
+	$(PYTHON) -m pytest -x -q benchmarks/test_experiment_throughput.py
 
 experiments:
 	$(PYTHON) -m repro all

@@ -1,0 +1,142 @@
+"""End-to-end experiment benchmark: wall-clock at full replication counts.
+
+Where ``test_kernel_throughput`` measures the kernel's synthetic hot
+path, this suite times the paper's *experiments* exactly as a user runs
+them — ``figure1`` and ``table2`` at their full ``samples=1000``
+replication counts plus the staging ablation — and the single-world
+observability scenarios in events/sec.  The numbers, along with the
+pre-PR baselines recorded below, are written to
+``BENCH_experiments.json`` at the repo root (``make bench-experiments``
+regenerates it; see docs/performance.md for the schema).
+
+The model layer under test is byte-deterministic: every run here
+produces the same tables as the archived goldens, so wall-clock is the
+only thing this file measures.
+"""
+
+import io
+import contextlib
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.ablations import run_staging_ablation
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.table2 import run_table2
+from repro.obs.runner import run_scenario
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_experiments.json"
+
+#: Wall-clock of the pre-PR model layer (commit f3a57b5: per-call
+#: max-min refills, per-epoch share recomputation, per-block cache
+#: calls, cold worker pools), measured on the reference container with
+#: the exact invocations below.  Re-measure on the old tree if the
+#: experiment shapes ever change.
+PRE_PR_BASELINE = {
+    "figure1_wall_s": 5.594,          # run_figure1(seed=42, samples=1000)
+    "table2_wall_s": 230.387,         # run_table2(seed=42, samples=1000)
+    "staging_ablation_wall_s": 1.096,  # run_staging_ablation()
+    "figure1_scenario_events_per_sec": 42379.4,
+    "table2_scenario_events_per_sec": 2717.7,
+}
+
+
+def _wall_seconds(fn, rounds: int) -> float:
+    """Best-of-N wall time of ``fn()`` with stdout swallowed."""
+    best = float("inf")
+    for _round in range(rounds):
+        sink = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(sink):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _scenario_events_per_sec(name: str, rounds: int = 5) -> float:
+    """Best-of-N events/sec of one traced session life cycle."""
+    best = 0.0
+    for _round in range(rounds):
+        start = time.perf_counter()
+        sim = run_scenario(name, seed=42)
+        elapsed = time.perf_counter() - start
+        best = max(best, sim._next_id / elapsed)
+    return best
+
+
+def test_experiment_throughput(report):
+    # Cheap experiments run first: the table2 round allocates heavily
+    # and the GC pressure it leaves behind would tax measurements taken
+    # after it (the baselines were recorded in fresh processes).
+    walls = {
+        "figure1": _wall_seconds(
+            lambda: run_figure1(seed=42, samples=1000), rounds=3),
+        "staging_ablation": _wall_seconds(run_staging_ablation, rounds=5),
+    }
+    scenarios = {
+        "figure1_scenario": _scenario_events_per_sec("figure1"),
+        "table2_scenario": _scenario_events_per_sec("table2"),
+    }
+    # table2 moves ~90 GB of simulated image data through the block
+    # caches at samples=1000; one round is minutes, so no retries.
+    walls["table2"] = _wall_seconds(
+        lambda: run_table2(seed=42, samples=1000), rounds=1)
+
+    record = {
+        "invocations": {
+            "figure1": "run_figure1(seed=42, samples=1000), best of 3",
+            "table2": "run_table2(seed=42, samples=1000), single round",
+            "staging_ablation": "run_staging_ablation(), best of 5",
+            "scenarios": "obs run_scenario(name, seed=42), best of 5",
+        },
+        "baseline": dict(PRE_PR_BASELINE),
+        "current": {
+            "figure1_wall_s": round(walls["figure1"], 3),
+            "table2_wall_s": round(walls["table2"], 3),
+            "staging_ablation_wall_s": round(walls["staging_ablation"], 3),
+            "figure1_scenario_events_per_sec":
+                round(scenarios["figure1_scenario"], 1),
+            "table2_scenario_events_per_sec":
+                round(scenarios["table2_scenario"], 1),
+        },
+    }
+    speedups = {}
+    for key in ("figure1_wall_s", "table2_wall_s",
+                "staging_ablation_wall_s"):
+        speedups[key] = round(PRE_PR_BASELINE[key] / record["current"][key],
+                              3)
+    for key in ("figure1_scenario_events_per_sec",
+                "table2_scenario_events_per_sec"):
+        speedups[key] = round(record["current"][key] / PRE_PR_BASELINE[key],
+                              3)
+    record["speedup_vs_baseline"] = speedups
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = ["Experiment wall-clock (seed 42, full replication counts):"]
+    for key, label in (("figure1_wall_s", "figure1 @1000"),
+                       ("table2_wall_s", "table2  @1000"),
+                       ("staging_ablation_wall_s", "staging ablation")):
+        lines.append("  %-17s %8.3fs   (baseline %8.3fs, %.2fx)"
+                     % (label, record["current"][key],
+                        PRE_PR_BASELINE[key], speedups[key]))
+    for key, label in (("figure1_scenario_events_per_sec",
+                        "figure1 scenario"),
+                       ("table2_scenario_events_per_sec",
+                        "table2 scenario")):
+        lines.append("  %-17s %8.0f ev/s (baseline %8.0f, %.2fx)"
+                     % (label, record["current"][key],
+                        PRE_PR_BASELINE[key], speedups[key]))
+    report("\n".join(lines))
+
+    # Regression guard only (see test_kernel_throughput): the archived
+    # record carries the trajectory; a hard 2x assert would be hostage
+    # to CI noise.
+    for key, speedup in speedups.items():
+        assert speedup > 0.8, (
+            "%s regressed to %.2fx of the recorded baseline"
+            % (key, speedup))

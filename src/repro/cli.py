@@ -14,6 +14,7 @@ Usage::
     python -m repro sanitize {figure1,table1,table2} [--seed N]
     python -m repro trace {figure1,table1,table2} [--out trace.json]
     python -m repro metrics {figure1,table1,table2} [--json]
+    python -m repro profile {figure1,table1,table2} [--seed N] [--top K]
 
 Each experiment command prints the same tables the benchmark harness
 archives; ``analyze`` runs the simlint static-analysis pass (see
@@ -24,7 +25,10 @@ sanitizer and exits non-zero on hazards or output divergence.  ``trace``
 replays a representative session life cycle for an experiment and
 writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
 ``metrics`` prints the metrics registry after the same run.  See
-``docs/observability.md``.
+``docs/observability.md``.  ``profile`` replays the same life cycle
+under :mod:`cProfile` and prints the top functions by cumulative time
+(``docs/performance.md``) — the entry point every fast path in the
+model layer was justified from.
 
 ``--workers N`` fans independent replications across N processes
 (``docs/performance.md``); every artifact is byte-identical for any
@@ -178,6 +182,23 @@ def _cmd_metrics(args) -> None:
             title="Metrics: %s (seed %d)" % (target, args.seed)))
 
 
+def _cmd_profile(args) -> None:
+    import cProfile
+    import pstats
+
+    from repro.obs.runner import run_scenario
+
+    target = _require_target(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim = run_scenario(target, seed=args.seed)
+    profiler.disable()
+    print("profile: %s, seed %d, %.2f simulated seconds, %d events"
+          % (target, args.seed, sim.now, sim._next_id))
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+
+
 def _cmd_analyze(args) -> int:
     from repro.analysis.cli import main as simlint_main
 
@@ -227,6 +248,7 @@ _COMMANDS = {
     "sanitize": _cmd_sanitize,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
 }
 
 
@@ -268,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help="analyze: report only findings not in this "
                              "baseline file")
+    parser.add_argument("--top", type=int, default=25,
+                        help="profile: how many functions to print "
+                             "(default 25)")
     return parser
 
 

@@ -42,7 +42,45 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.simulation.monitor import StatAccumulator
 from repro.simulation.randomness import RandomStreams
 
-__all__ = ["run_replications", "replication_seeds", "merge_accumulators"]
+__all__ = ["run_replications", "replication_seeds", "merge_accumulators",
+           "shutdown_pool"]
+
+#: The warm worker pool, reused across experiment stages.  Spawning a
+#: fresh pool per stage costs a fork + interpreter warm-up per worker
+#: per stage; experiments like table2 run six stages back to back, so
+#: the pool is kept until the worker count changes or the process exits.
+_POOL = None
+_POOL_WORKERS = 0
+
+
+def _warm_pool(workers: int):
+    """The shared pool for ``workers`` processes, creating it on demand."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        # Imported lazily: sequential runs must not pay for (or depend
+        # on) multiprocessing machinery.
+        import atexit
+        import multiprocessing
+
+        _POOL = multiprocessing.Pool(processes=workers)
+        _POOL_WORKERS = workers
+        atexit.register(shutdown_pool)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the warm pool (no-op when none is running).
+
+    Registered atexit; also the reset path when a worker dies and the
+    pool can no longer be trusted.
+    """
+    global _POOL
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
 
 
 def replication_seeds(root_seed: int, name: str, count: int) -> List[int]:
@@ -68,9 +106,10 @@ def run_replications(fn: Callable[..., Any],
     tuple (both cross the process boundary when ``workers > 1``).  With
     ``workers <= 1`` the tasks run sequentially in-process — no pool,
     no pickling, bit-for-bit the historical code path.  With more, a
-    ``multiprocessing`` pool maps the tasks; ``starmap`` already
-    returns results positionally, which is what makes the fan-out
-    invisible to downstream accumulation.
+    warm ``multiprocessing`` pool — created once and reused across
+    calls until the worker count changes — maps the tasks; ``starmap``
+    already returns results positionally, which is what makes the
+    fan-out invisible to downstream accumulation.
 
     The worker count bounds *wall-clock concurrency only*; it must
     never reach the model (simlint R10 flags attempts).
@@ -78,16 +117,19 @@ def run_replications(fn: Callable[..., Any],
     tasks = [tuple(task) for task in tasks]
     if workers is None or workers <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
-    # Imported lazily: sequential runs must not pay for (or depend on)
-    # multiprocessing machinery.
-    import multiprocessing
-
     if chunksize is None:
-        # Whole-list split: replications are coarse (each builds a
-        # simulated world), so scheduling granularity beats batching.
-        chunksize = 1
-    with multiprocessing.Pool(processes=workers) as pool:
+        # Large replication counts amortize dispatch IPC by shipping
+        # chunks; small counts keep chunk 1 so stragglers rebalance.
+        # The split never reaches the model, so results are identical
+        # for any chunk size — this is wall-clock tuning only.
+        chunksize = max(1, min(32, len(tasks) // (workers * 4)))
+    pool = _warm_pool(workers)
+    try:
         return pool.starmap(fn, tasks, chunksize=chunksize)
+    except Exception:
+        # A worker death poisons the pool; never reuse it.
+        shutdown_pool()
+        raise
 
 
 def merge_accumulators(parts: Sequence[StatAccumulator],

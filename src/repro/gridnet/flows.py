@@ -61,6 +61,15 @@ class FlowEngine:
         self._active: List[Flow] = []
         self._last_update = sim.now
         self._generation = 0
+        #: Active flows per link, maintained incrementally at join/leave
+        #: (per-link order is join order, matching ``_active``).
+        self._link_flows: Dict[Link, Dict[Flow, None]] = {}
+        #: Memoized max-min rates for the current membership; ``None``
+        #: after a membership change that requires a full refill.
+        self._rate_cache: Optional[Dict[Flow, float]] = None
+        #: Progressive fillings actually run (regression guard: at most
+        #: one per membership generation, however often rates are read).
+        self.full_allocations = 0
         self.transfer_time = StatAccumulator("flow.transfer_time")
         metrics = sim.metrics
         self._m_started = metrics.counter("net.flows.started")
@@ -92,7 +101,7 @@ class FlowEngine:
         if flow.remaining <= _BYTES_EPSILON:
             self._finish(flow)
         else:
-            self._active.append(flow)
+            self._join(flow)
             self._m_active.set(len(self._active))
         self._reschedule()
         return flow
@@ -148,9 +157,80 @@ class FlowEngine:
         return min(link.bandwidth - usage.get(link, 0.0)
                    for link in links)
 
+    # -- membership ------------------------------------------------------------
+
+    def _join(self, flow: Flow) -> None:
+        """Add a flow to the active set and the per-link flow maps.
+
+        If the newcomer shares no link with any active flow, max-min
+        decomposes over the disjoint link sets: every other rate is
+        unchanged and the newcomer gets the bottleneck capacity of its
+        own path (modulo its cap), so the memoized allocation is patched
+        in place instead of being refilled.  A flow merely *fitting* in
+        spare capacity is NOT sufficient — a sharer bottlenecked on a
+        different link may have to be squeezed — so the fast path
+        demands exclusive links.
+        """
+        self._active.append(flow)
+        link_flows = self._link_flows
+        alone = True
+        for link in flow.links:
+            members = link_flows.get(link)
+            if members is None:
+                link_flows[link] = {flow: None}
+            else:
+                if members:
+                    alone = False
+                members[flow] = None
+        rates = self._rate_cache
+        if rates is not None and alone and flow.links:
+            rate = min(link.bandwidth for link in flow.links)
+            cap = flow.bandwidth_cap
+            rates[flow] = rate if cap is None or cap > rate else cap
+        else:
+            self._rate_cache = None
+
+    def _leave(self, flow: Flow) -> None:
+        """Remove a flow from the active set and the per-link maps.
+
+        Mirrors :meth:`_join`: a departing flow that was alone on all
+        its links frees capacity nobody else can claim, so the memoized
+        allocation survives minus its entry.
+        """
+        self._active.remove(flow)
+        link_flows = self._link_flows
+        alone = True
+        for link in flow.links:
+            members = link_flows.get(link)
+            if members is not None:
+                members.pop(flow, None)
+                if members:
+                    alone = False
+                else:
+                    del link_flows[link]
+        rates = self._rate_cache
+        if rates is not None and alone:
+            rates.pop(flow, None)
+        else:
+            self._rate_cache = None
+
     # -- max-min allocation ----------------------------------------------------
 
     def _allocate(self) -> Dict[Flow, float]:
+        """The max-min rates for the current membership, memoized.
+
+        The full progressive filling runs at most once per membership
+        generation; every reader in between (``current_rate``,
+        ``link_usage``, ``available_bandwidth``, back-to-back
+        ``_advance``/``_reschedule``) shares the memo.
+        """
+        rates = self._rate_cache
+        if rates is None:
+            rates = self._rate_cache = self._refill()
+            self.full_allocations += 1
+        return rates
+
+    def _refill(self) -> Dict[Flow, float]:
         """Progressive-filling max-min fair rates for all active flows.
 
         Dicts stand in for sets throughout so every iteration follows
@@ -161,12 +241,14 @@ class FlowEngine:
         unfixed: Dict[Flow, None] = dict.fromkeys(self._active)
         if not unfixed:
             return rates
+        link_flows = self._link_flows
+        # Capacity keys iterate in first-touch order of the active flows
+        # (the order the transient per-call dicts historically had).
         remaining_cap: Dict[Link, float] = {}
-        link_flows: Dict[Link, Dict[Flow, None]] = {}
         for flow in unfixed:
             for link in flow.links:
-                remaining_cap.setdefault(link, link.bandwidth)
-                link_flows.setdefault(link, {})[flow] = None
+                if link not in remaining_cap:
+                    remaining_cap[link] = link.bandwidth
 
         # Flows with an explicit cap tighter than any fair share are pinned
         # first by treating the cap as a single-flow virtual link.
@@ -174,7 +256,8 @@ class FlowEngine:
             # Find the bottleneck: smallest per-flow share among loaded links.
             bottleneck_share = math.inf
             bottleneck_link: Optional[Link] = None
-            for link, flows in link_flows.items():
+            for link in remaining_cap:
+                flows = link_flows[link]
                 live = [f for f in flows if f in unfixed]
                 if not live:
                     continue
@@ -228,7 +311,7 @@ class FlowEngine:
     def _reschedule(self) -> None:
         finished = [f for f in self._active if f.remaining <= _BYTES_EPSILON]
         for flow in finished:
-            self._active.remove(flow)
+            self._leave(flow)
             self._finish(flow)
         if finished:
             self._m_active.set(len(self._active))

@@ -50,6 +50,11 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._hosts: Dict[str, dict] = {}
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        # Derived-path memos, invalidated with the route cache.  Links
+        # are immutable after construction, so the cached link lists and
+        # latency sums stay valid as long as the routes do.
+        self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._latency_cache: Dict[Tuple[str, str], float] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -59,12 +64,12 @@ class Network:
             raise SimulationError("host %s already exists" % name)
         self._hosts[name] = dict(site=site, **attributes)
         self._graph.add_node(name)
-        self._route_cache.clear()
+        self._clear_caches()
 
     def add_router(self, name: str) -> None:
         """Register an interior node (cannot source or sink flows)."""
         self._graph.add_node(name)
-        self._route_cache.clear()
+        self._clear_caches()
 
     def add_link(self, a: str, b: str, latency: float,
                  bandwidth: float) -> Link:
@@ -75,8 +80,13 @@ class Network:
         link = Link(a, b, latency, bandwidth)
         self._links[self._key(a, b)] = link
         self._graph.add_edge(a, b, weight=latency)
-        self._route_cache.clear()
+        self._clear_caches()
         return link
+
+    def _clear_caches(self) -> None:
+        self._route_cache.clear()
+        self._path_cache.clear()
+        self._latency_cache.clear()
 
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
@@ -115,14 +125,24 @@ class Network:
         return self._route_cache[key]
 
     def path_links(self, src: str, dst: str) -> List[Link]:
-        """The links along the routed path."""
-        path = self.route(src, dst)
-        return [self._links[self._key(a, b)]
+        """The links along the routed path (cached; do not mutate)."""
+        key = (src, dst)
+        links = self._path_cache.get(key)
+        if links is None:
+            path = self.route(src, dst)
+            links = self._path_cache[key] = [
+                self._links[self._key(a, b)]
                 for a, b in zip(path, path[1:])]
+        return links
 
     def latency(self, src: str, dst: str) -> float:
         """One-way propagation latency along the routed path."""
-        return sum(link.latency for link in self.path_links(src, dst))
+        key = (src, dst)
+        value = self._latency_cache.get(key)
+        if value is None:
+            value = self._latency_cache[key] = sum(
+                link.latency for link in self.path_links(src, dst))
+        return value
 
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip time along the routed path."""

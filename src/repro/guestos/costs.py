@@ -9,6 +9,7 @@ Values approximate a 2001-era Linux on a Pentium III.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.simulation.kernel import SimulationError
 
@@ -34,6 +35,13 @@ class OsCosts:
         if self.quantum <= 0:
             raise SimulationError("quantum must be positive")
 
+    @lru_cache(maxsize=1024)
     def io_sys_seconds(self, nbytes: int, operations: int) -> float:
-        """Native kernel CPU consumed by an I/O request stream."""
+        """Native kernel CPU consumed by an I/O request stream.
+
+        Memoized: workloads issue the same few (nbytes, operations)
+        shapes millions of times across replications, and the frozen
+        dataclass is hashable.  Bounded so sweeping many cost tables
+        through one process cannot grow it without limit.
+        """
         return operations * self.syscall + nbytes * self.io_cpu_per_byte

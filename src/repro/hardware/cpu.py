@@ -82,6 +82,11 @@ class TaskGroup:
         #: its whole life, all hosts included (the metering basis for
         #: the paper's per-user resource accounting).
         self.cpu_consumed = 0.0
+        #: Scheduling-parameter signature, kept current by
+        #: ``ProcessorSharingCpu.update_group`` (the only mutator).
+        self._sig = (self.vcpus, self.weight, self.max_rate,
+                     self.extra_switch_cost, self.member_switch_cost,
+                     self.member_quantum)
 
     def __repr__(self) -> str:
         return "<TaskGroup %s vcpus=%d>" % (self.name, self.vcpus)
@@ -139,6 +144,10 @@ class CpuTask:
         self.finished_at: Optional[float] = None
         #: Host CPU seconds consumed (shares actually granted).
         self.cpu_consumed = 0.0
+        #: Scheduling-parameter signature, kept current by
+        #: ``ProcessorSharingCpu.update_task`` (the only mutator).
+        self._sig = (self.weight, self.max_rate, self.rate_factor,
+                     self.extra_switch_cost)
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -159,6 +168,13 @@ def _waterfill(items: Sequence[Tuple[object, float, float]],
     shares: Dict[object, float] = {}
     unfixed = list(items)
     capacity = max(capacity, 0.0)
+    if len(unfixed) == 1:
+        # Single entity (the common case): same arithmetic as one round
+        # of the general loop below, without the bookkeeping.
+        key, weight, cap = unfixed[0]
+        proportional = capacity * weight / weight
+        shares[key] = cap if proportional >= cap - 1e-15 else proportional
+        return shares
     while unfixed:
         total_weight = sum(weight for _key, weight, _cap in unfixed)
         pinned = []
@@ -177,6 +193,15 @@ def _waterfill(items: Sequence[Tuple[object, float, float]],
             capacity -= shares[entry[0]]
         capacity = max(capacity, 0.0)
     return shares
+
+
+#: Process-wide memo of (shares, rates, share_sum) per population
+#: signature — see ``ProcessorSharingCpu._sched_state``.  Values are
+#: pure functions of the key, so sharing the memo across simulations
+#: (and replication worker processes) cannot couple worlds.  Bounded:
+#: cleared wholesale if an adversarial workload produces thousands of
+#: distinct signatures.
+_EPOCH_CACHE: Dict[Tuple, Tuple] = {}
 
 
 class ProcessorSharingCpu:
@@ -200,6 +225,16 @@ class ProcessorSharingCpu:
         self._active: List[CpuTask] = []
         self._last_update = sim.now
         self._completion_generation = 0
+        #: CPU-level half of the population signature (immutable).
+        self._param_sig = (self.cores, self.speed, self.quantum,
+                           self.context_switch_cost)
+        #: Memoized (singles, groups, share_vals, rate_vals, share_sum,
+        #: items, order) for the current task population; ``None`` after
+        #: any membership or parameter change.  One membership change
+        #: previously recomputed shares about five times (``_advance`` +
+        #: ``_reschedule`` + the ``_rates``/``_shares``/``_population``
+        #: call chains).
+        self._sched_cache: Optional[Tuple] = None
         #: Fraction of total capacity in use, sampled at membership changes.
         self.utilization = TimeSeriesMonitor(name + ".utilization")
         #: Number of host-schedulable entities, sampled at changes.
@@ -227,6 +262,7 @@ class ProcessorSharingCpu:
             task.done.succeed(task)
         else:
             self._active.append(task)
+            self._invalidate()
         self._reschedule()
         return task.done
 
@@ -245,6 +281,7 @@ class ProcessorSharingCpu:
         if task not in self._active:
             raise SimulationError("task %s is not active" % task.name)
         self._active.remove(task)
+        self._invalidate()
         self._reschedule()
         return task.remaining
 
@@ -268,6 +305,9 @@ class ProcessorSharingCpu:
             if weight <= 0:
                 raise SimulationError("weight must be positive")
             task.weight = weight
+        task._sig = (task.weight, task.max_rate, task.rate_factor,
+                     task.extra_switch_cost)
+        self._invalidate()
         self._reschedule()
 
     def update_group(self, group: TaskGroup,
@@ -289,6 +329,10 @@ class ProcessorSharingCpu:
             if weight <= 0:
                 raise SimulationError("weight must be positive")
             group.weight = weight
+        group._sig = (group.vcpus, group.weight, group.max_rate,
+                      group.extra_switch_cost, group.member_switch_cost,
+                      group.member_quantum)
+        self._invalidate()
         self._reschedule()
 
     def current_rate(self, task: CpuTask) -> float:
@@ -307,20 +351,89 @@ class ProcessorSharingCpu:
 
     # -- internals ----------------------------------------------------------
 
+    def _invalidate(self) -> None:
+        self._sched_cache = None
+
+    def _sched_state(self) -> Tuple:
+        """(singles, groups, share_vals, rate_vals, share_sum, items,
+        order), per epoch.
+
+        Valid until the next membership/parameter change; every mutator
+        calls :meth:`_invalidate` after touching scheduling state.
+        ``order`` is the canonical task ordering (singles, then group
+        members); ``share_vals``/``rate_vals`` are positional over it;
+        ``share_sum`` is their total and ``items`` binds
+        ``(task, rate, share)`` per task, so the advance/horizon loops
+        and utilization samples reuse the epoch's arithmetic instead of
+        re-deriving it at every reschedule.  Iterating ``items`` in
+        canonical rather than arrival order is float-safe: per-task
+        updates are independent, and a group's members keep their
+        relative arrival order, so ``group.cpu_consumed`` accumulates
+        in the same sequence either way.
+        """
+        state = self._sched_cache
+        if state is None:
+            singles: List[CpuTask] = []
+            groups: Dict[TaskGroup, List[CpuTask]] = {}
+            for task in self._active:
+                group = task.group
+                if group is None:
+                    singles.append(task)
+                else:
+                    members = groups.get(group)
+                    if members is None:
+                        groups[group] = [task]
+                    else:
+                        members.append(task)
+            # Shares and rates are pure functions of the numeric
+            # population signature below; the same few signatures recur
+            # across epochs *and* replications, so the results are
+            # memoized process-wide (positionally, keyed by value — the
+            # task objects differ per world, the arithmetic does not).
+            # Per-entity ``_sig`` tuples are prebuilt at construction
+            # and refreshed by ``update_task``/``update_group``.
+            if groups:
+                sig = (self._param_sig,
+                       tuple([t._sig for t in singles]),
+                       tuple([(g._sig, tuple([m._sig for m in members]))
+                              for g, members in groups.items()]))
+                order = singles + [m for members in groups.values()
+                                   for m in members]
+            else:
+                sig = (self._param_sig,
+                       tuple([t._sig for t in singles]), ())
+                order = singles
+            hit = _EPOCH_CACHE.get(sig)
+            if hit is None:
+                shares = self._compute_shares(singles, groups)
+                rates = self._compute_rates(shares, singles, groups)
+                share_sum = sum(shares.values())
+                share_vals = tuple([shares[t] for t in order])
+                rate_vals = tuple([rates[t] for t in order])
+                if len(_EPOCH_CACHE) >= 4096:
+                    _EPOCH_CACHE.clear()
+                _EPOCH_CACHE[sig] = (share_vals, rate_vals, share_sum)
+            else:
+                share_vals, rate_vals, share_sum = hit
+            items = list(zip(order, rate_vals, share_vals))
+            state = self._sched_cache = (singles, groups, share_vals,
+                                         rate_vals, share_sum, items,
+                                         order)
+        return state
+
     def _population(self) -> Tuple[List[CpuTask],
                                    Dict[TaskGroup, List[CpuTask]]]:
-        singles: List[CpuTask] = []
-        groups: Dict[TaskGroup, List[CpuTask]] = {}
-        for task in self._active:
-            if task.group is None:
-                singles.append(task)
-            else:
-                groups.setdefault(task.group, []).append(task)
-        return singles, groups
+        state = self._sched_state()
+        return state[0], state[1]
 
     def _shares(self) -> Dict[CpuTask, float]:
+        state = self._sched_state()
+        return dict(zip(state[6], state[2]))
+
+    def _compute_shares(self, singles: List[CpuTask],
+                        groups: Dict[TaskGroup, List[CpuTask]]
+                        ) -> Dict[CpuTask, float]:
         """Two-level weighted max-min fair core shares."""
-        singles, groups = self._population()
         if not self._active:
             return {}
         entities: List[Tuple[object, float, float]] = []
@@ -350,9 +463,14 @@ class ProcessorSharingCpu:
         return shares
 
     def _rates(self) -> Dict[CpuTask, float]:
+        state = self._sched_state()
+        return dict(zip(state[6], state[3]))
+
+    def _compute_rates(self, shares: Dict[CpuTask, float],
+                       singles: List[CpuTask],
+                       groups: Dict[TaskGroup, List[CpuTask]]
+                       ) -> Dict[CpuTask, float]:
         """Instantaneous service rate per task, after overhead taxes."""
-        shares = self._shares()
-        singles, groups = self._population()
         entity_count = len(singles) + len(groups)
         contended = entity_count > self.cores
         rates: Dict[CpuTask, float] = {}
@@ -376,19 +494,24 @@ class ProcessorSharingCpu:
         return rates
 
     def _advance(self) -> None:
-        """Charge all active tasks for service since the last update."""
+        """Charge all active tasks for service since the last update.
+
+        Runs before any mutation, so the memoized state still describes
+        the population the elapsed interval was served under.
+        """
         now = self.sim.now
         elapsed = now - self._last_update
         if elapsed > 0 and self._active:
-            rates = self._rates()
-            shares = self._shares()
-            for task in self._active:
+            items = self._sched_state()[5]
+            speed = self.speed
+            for task, rate, share in items:
                 task.remaining = max(0.0,
-                                     task.remaining - elapsed * rates[task])
-                consumed = elapsed * shares[task] * self.speed
+                                     task.remaining - elapsed * rate)
+                consumed = elapsed * share * speed
                 task.cpu_consumed += consumed
-                if task.group is not None:
-                    task.group.cpu_consumed += consumed
+                group = task.group
+                if group is not None:
+                    group.cpu_consumed += consumed
         self._last_update = now
 
     def _reschedule(self) -> None:
@@ -400,18 +523,19 @@ class ProcessorSharingCpu:
             task.remaining = 0.0
             task.finished_at = now
             task.done.succeed(task)
-        rates = self._rates()
+        if finished:
+            self._invalidate()
+        state = self._sched_state()
+        singles, groups = state[0], state[1]
+        share_sum, items = state[4], state[5]
         self.utilization.record(
-            now, sum(self._shares().values()) / self.cores if self._active
-            else 0.0)
-        singles, groups = self._population()
+            now, share_sum / self.cores if self._active else 0.0)
         self.run_queue.record(now, float(len(singles) + len(groups)))
 
         self._completion_generation += 1
         generation = self._completion_generation
         horizon = math.inf
-        for task in self._active:
-            rate = rates[task]
+        for task, rate, _share in items:
             if rate > 0:
                 horizon = min(horizon, task.remaining / rate)
         if horizon is math.inf:

@@ -74,8 +74,12 @@ class Histogram:
 
         self.name = name
         self.acc = StatAccumulator(name)
+        # Pre-bind the accumulator's add as the record method: observers
+        # resolve `histogram.observe` once at construction, and each
+        # record then costs one bound-method call instead of two.
+        self.observe = self.acc.add
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float) -> None:  # overridden per instance
         self.acc.add(value)
 
     @property

@@ -23,15 +23,20 @@ class FileNotFound(StorageError):
     """The named file does not exist in this file system."""
 
 
-def block_span(offset: int, nbytes: int, block_size: int) -> List[int]:
-    """Indices of the blocks covering ``[offset, offset + nbytes)``."""
+def block_span(offset: int, nbytes: int, block_size: int) -> range:
+    """Indices of the blocks covering ``[offset, offset + nbytes)``.
+
+    Returns a ``range`` rather than a list: callers only iterate, ``len``
+    and truth-test the span, and the read paths walk millions of spans
+    per experiment, so the block indices are never materialized.
+    """
     if offset < 0 or nbytes < 0:
         raise StorageError("offset and size must be non-negative")
     if nbytes == 0:
-        return []
+        return range(0)
     first = offset // block_size
     last = (offset + nbytes - 1) // block_size
-    return list(range(first, last + 1))
+    return range(first, last + 1)
 
 
 class FileSystem:

@@ -72,16 +72,34 @@ class LocalFileSystem(FileSystem):
             raise StorageError("read past end of %s (%d+%d > %d)"
                                % (name, offset, nbytes, size))
         file_id = self._file_id(name)
+        # Residency checks are inlined (no per-block ``cache.lookup``
+        # call) on this hottest path.  The hit/miss counters are flushed
+        # before every yield, so any process observing the cache at a
+        # simulated instant sees exactly the per-call counter state.
+        cache = self.cache
+        cached = cache._blocks
+        move_to_end = cached.move_to_end
+        hits = misses = 0
         hit_cost = 0.0
         miss_run: List[int] = []  # consecutive missing blocks batch one access
+        append_miss = miss_run.append
         for block in block_span(offset, nbytes, self.block_size):
-            if self.cache.lookup(file_id, block):
+            key = (file_id, block)
+            if key in cached:
+                move_to_end(key)
+                hits += 1
                 hit_cost += _HIT_COST
                 if miss_run:
+                    cache.hits += hits
+                    cache.misses += misses
+                    hits = misses = 0
                     yield from self._read_run(file_id, miss_run)
-                    miss_run = []
-                continue
-            miss_run.append(block)
+                    miss_run.clear()  # append_miss stays bound to it
+            else:
+                misses += 1
+                append_miss(block)
+        cache.hits += hits
+        cache.misses += misses
         if miss_run:
             yield from self._read_run(file_id, miss_run)
         if hit_cost:
@@ -95,8 +113,7 @@ class LocalFileSystem(FileSystem):
         """
         yield from self.disk.read(len(blocks) * self.block_size,
                                   sequential=False)
-        for block in blocks:
-            self.cache.insert(file_id, block)
+        self.cache.insert_run(file_id, blocks)
 
     def write(self, name: str, offset: int, nbytes: int,
               sequential: bool = True):
@@ -109,8 +126,7 @@ class LocalFileSystem(FileSystem):
             # One positioning cost, then the whole range streams.
             yield from self.disk.write(len(blocks) * self.block_size,
                                        sequential=False)
-            for block in blocks:
-                self.cache.insert(file_id, block, dirty=False)
+            self.cache.insert_run(file_id, blocks, dirty=False)
         self._files[name] = max(self._files[name], offset + nbytes)
 
     def copy(self, src: str, dst: str, chunk_bytes: int = 4 * 1024 * 1024):

@@ -126,14 +126,31 @@ class NfsMount(FileSystem):
         if offset + nbytes > size:
             raise StorageError("read past end of %s" % name)
         file_id = (self.name, name)
+        # Inlined residency checks, mirroring LocalFileSystem.read: the
+        # hit/miss counters are flushed before every yield so concurrent
+        # observers see per-lookup counter state.
+        cache = self.cache
+        cached = cache._blocks
+        move_to_end = cached.move_to_end
+        hits = misses = 0
         miss_run: List[int] = []
+        append_miss = miss_run.append
         for block in block_span(offset, nbytes, self.block_size):
-            if self.cache.lookup(file_id, block):
+            key = (file_id, block)
+            if key in cached:
+                move_to_end(key)
+                hits += 1
                 if miss_run:
+                    cache.hits += hits
+                    cache.misses += misses
+                    hits = misses = 0
                     yield from self._fetch_run(name, file_id, miss_run)
-                    miss_run = []
-                continue
-            miss_run.append(block)
+                    miss_run.clear()  # append_miss stays bound to it
+            else:
+                misses += 1
+                append_miss(block)
+        cache.hits += hits
+        cache.misses += misses
         if miss_run:
             yield from self._fetch_run(name, file_id, miss_run)
 
@@ -162,8 +179,7 @@ class NfsMount(FileSystem):
         server.bytes_served += nbytes
         self._m_rpcs.inc(len(blocks))
         self._m_bytes.inc(nbytes)
-        for block in blocks:
-            self.cache.insert(file_id, block)
+        self.cache.insert_run(file_id, blocks)
 
     def write(self, name: str, offset: int, nbytes: int,
               sequential: bool = True):
@@ -188,9 +204,7 @@ class NfsMount(FileSystem):
         server.bytes_served += payload
         self._m_rpcs.inc(len(blocks))
         self._m_bytes.inc(payload)
-        file_id = (self.name, name)
-        for block in blocks:
-            self.cache.insert(file_id, block)
+        self.cache.insert_run((self.name, name), blocks)
 
     def __repr__(self) -> str:
         kind = "loopback" if self.loopback else "remote"

@@ -14,6 +14,7 @@ reproduced Figure 1 / Table 1 land in the paper's reported bands
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.simulation.kernel import SimulationError
 
@@ -59,9 +60,15 @@ class VmmCosts:
             raise SimulationError("sys_dilation must be >= 1 (emulation "
                                   "cannot beat native)")
 
+    @lru_cache(maxsize=1024)
     def user_dilation_factor(self, pagefaults_per_sec: float,
                              timer_hz: float) -> float:
-        """Observed-user-time multiplier for user-mode guest code."""
+        """Observed-user-time multiplier for user-mode guest code.
+
+        Memoized (the dataclass is frozen, hence hashable): every
+        compute phase of every replication asks with one of a handful
+        of distinct rate/timer pairs.
+        """
         return 1.0 + (pagefaults_per_sec * self.pagefault_trap
                       + timer_hz * self.timer_trap)
 

@@ -146,9 +146,11 @@ class LoadPlayback:
         sim = self.os.sim
         end = sim.now + duration
         position = 0
+        values = self.trace.values
+        nvalues = len(values)
+        overdue_after = 1.05 * self.trace.interval
         while sim.now < end - 1e-9:
-            load = self.trace.values[position % len(self.trace.values)] \
-                if self.trace.values else 0.0
+            load = values[position % nvalues] if nvalues else 0.0
             position += 1
             interval = min(self.trace.interval, end - sim.now)
             total_work = load * interval
@@ -160,10 +162,16 @@ class LoadPlayback:
                 # saturated machine sees a steady queue, not unbounded
                 # backlog.
                 bursts = max(1, int(math.ceil(load)))
-                self._alive = [(p, t0) for p, t0 in self._alive
-                               if p.is_alive]
-                overdue = sum(1 for _p, t0 in self._alive
-                              if sim.now - t0 > 1.05 * self.trace.interval)
+                # One pass filters dead bursts and counts overdue ones.
+                now = sim.now
+                alive = []
+                overdue = 0
+                for entry in self._alive:
+                    if entry[0].is_alive:
+                        alive.append(entry)
+                        if now - entry[1] > overdue_after:
+                            overdue += 1
+                self._alive = alive
                 to_spawn = max(0, bursts - overdue)
                 per_burst = total_work / bursts
                 for _i in range(to_spawn):

@@ -46,3 +46,16 @@ def test_trace_requires_target(capsys):
 def test_trace_rejects_unknown_target(capsys):
     with pytest.raises(SystemExit):
         main(["trace", "table9"])
+
+
+def test_profile_command_prints_hot_functions(capsys):
+    assert main(["profile", "table2", "--seed", "42", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: table2, seed 42" in out
+    assert "cumulative" in out
+    assert "run_scenario" in out
+
+
+def test_profile_requires_target():
+    with pytest.raises(SystemExit):
+        main(["profile"])

@@ -22,10 +22,13 @@ def run(sim, generator):
 # ---------------------------------------------------------------------------
 
 def test_block_span_basic():
-    assert block_span(0, 100, 64) == [0, 1]
-    assert block_span(64, 64, 64) == [1]
-    assert block_span(63, 2, 64) == [0, 1]
-    assert block_span(0, 0, 64) == []
+    # block_span returns a lazy range; compare materialized indices.
+    assert list(block_span(0, 100, 64)) == [0, 1]
+    assert list(block_span(64, 64, 64)) == [1]
+    assert list(block_span(63, 2, 64)) == [0, 1]
+    assert list(block_span(0, 0, 64)) == []
+    assert not block_span(0, 0, 64)  # empty span is falsy
+    assert len(block_span(0, 100, 64)) == 2
 
 
 def test_block_span_validates():
