@@ -1,23 +1,35 @@
 # Development entry points.  `make check` is the CI gate: the simlint
 # static-analysis pass over src/ (per-file rules plus the `--deep`
 # interprocedural pass, ratcheted against analysis-baseline.json so
-# only NEW findings fail), the tier-1 test suite (which includes the
-# workers=1 vs workers=N parallel-determinism tests), the simsan
-# runtime determinism sanitizer over a reduced-scale scenario, and the
-# observability smoke test (trace determinism + null-tracer overhead
-# guard).
+# only NEW findings fail), the shardcheck shard-affinity pass (rules
+# R15-R19, which also regenerates docs/shard-safety.md), the tier-1
+# test suite (which includes the workers=1 vs workers=N
+# parallel-determinism tests), the simsan runtime determinism
+# sanitizer over a reduced-scale scenario — plain and under the
+# shard-affinity model — and the observability smoke test (trace
+# determinism + null-tracer overhead guard).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint baseline test parallel-determinism sanitize \
-	trace-smoke golden-guard bench bench-experiments experiments
+.PHONY: check lint shardcheck baseline test parallel-determinism \
+	sanitize sanitize-shard trace-smoke golden-guard bench \
+	bench-experiments experiments
 
-check: lint test parallel-determinism sanitize trace-smoke golden-guard
+check: lint shardcheck test parallel-determinism sanitize \
+	sanitize-shard trace-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
 	    --baseline analysis-baseline.json
+
+# The shard-affinity pass (rules R15-R19) over the model tree, under
+# the same ratchet, regenerating the docs/shard-safety.md inventory —
+# the work-list for the sharded parallel engine (ROADMAP item 1).
+shardcheck:
+	$(PYTHON) -m repro.analysis --shard src/repro \
+	    --baseline analysis-baseline.json \
+	    --shard-inventory docs/shard-safety.md
 
 # Regenerate the findings baseline after paying down debt (the ratchet
 # only ever tightens: run this when `lint` reports stale entries, not
@@ -40,6 +52,12 @@ parallel-determinism:
 # untraced run byte for byte (the sanitizer is a pure observer).
 sanitize:
 	$(PYTHON) -m repro sanitize table2 --seed 42
+
+# The same replay under the shard-affinity sanitizer: partition by
+# site, require zero shard violations and byte-identical output (the
+# crossings count is informational; see docs/shard-safety.md).
+sanitize-shard:
+	$(PYTHON) -m repro sanitize table2 --seed 42 --shard-model site
 
 # Trace the table2 scenario twice at the same seed: the exported
 # Chrome-trace JSON must be byte-identical, and the null tracer must

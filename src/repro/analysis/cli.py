@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro.analysis [PATH ...] [--deep]
+    python -m repro.analysis [PATH ...] [--deep] [--shard]
+                             [--shard-inventory FILE]
                              [--format text|json|sarif]
                              [--select R1,R4] [--disable R3]
                              [--baseline FILE] [--write-baseline FILE]
@@ -10,7 +11,11 @@ Usage::
 
 ``--deep`` adds the interprocedural pass (call graph + taint fixpoint,
 rules R11-R14; see :mod:`repro.analysis.dataflow`) on top of the
-per-file rules.  ``--format sarif`` emits SARIF 2.1.0 for CI ingestion.
+per-file rules.  ``--shard`` adds the shard-affinity pass (ownership
+rules R15-R19; see :mod:`repro.analysis.shard`), and
+``--shard-inventory FILE`` additionally regenerates the shard-safety
+inventory (``docs/shard-safety.md``) from the same model.
+``--format sarif`` emits SARIF 2.1.0 for CI ingestion.
 ``--baseline`` filters findings down to the ones *not* recorded in a
 baseline file (the ratchet: legacy debt is absorbed, new findings
 fail); ``--write-baseline`` regenerates that file.
@@ -38,7 +43,8 @@ from repro.analysis.core import Analyzer, Finding
 from repro.analysis.rules import default_rules
 from repro.analysis.sarif import render_sarif
 
-__all__ = ["build_parser", "main", "run_analysis", "run_deep_analysis"]
+__all__ = ["build_parser", "main", "run_analysis", "run_deep_analysis",
+           "run_shard_analysis"]
 
 
 def _default_target() -> str:
@@ -59,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deep", action="store_true",
                         help="also run the interprocedural dataflow pass "
                              "(rules R11-R14)")
+    parser.add_argument("--shard", action="store_true",
+                        help="also run the shard-affinity pass "
+                             "(rules R15-R19)")
+    parser.add_argument("--shard-inventory", default=None, metavar="FILE",
+                        help="regenerate the shard-safety inventory at "
+                             "FILE (implies --shard)")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--select", default=None, metavar="RULES",
@@ -101,6 +113,12 @@ def _pick_deep_rules(select: Optional[str], disable: Optional[str]):
     return _filter_rules(deep_rules(), select, disable)
 
 
+def _pick_shard_rules(select: Optional[str], disable: Optional[str]):
+    from repro.analysis.shard import shard_rules
+
+    return _filter_rules(shard_rules(), select, disable)
+
+
 def run_analysis(paths: List[str], rules=None) -> List[Finding]:
     """Lint ``paths`` (or the repro package when empty)."""
     return Analyzer(rules).analyze_paths(paths or [_default_target()])
@@ -111,6 +129,20 @@ def run_deep_analysis(paths: List[str], rules=None) -> List[Finding]:
     from repro.analysis.dataflow import analyze_project
 
     return analyze_project(paths or [_default_target()], rules=rules)
+
+
+def run_shard_analysis(paths: List[str], rules=None,
+                       inventory: Optional[str] = None) -> List[Finding]:
+    """Run the shard-affinity pass; optionally write the inventory."""
+    from repro.analysis.shard import analyze_shard, build_shard_model
+
+    model = build_shard_model(paths or [_default_target()])
+    findings = analyze_shard(paths, rules=rules, model=model)
+    if inventory:
+        from repro.analysis.shard.inventory import write_inventory
+
+        write_inventory(model, inventory)
+    return findings
 
 
 def _render_text(findings: List[Finding], stream) -> None:
@@ -129,34 +161,45 @@ def _render_json(findings: List[Finding], stream) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.shard_inventory:
+        args.shard = True
     rules = _pick_rules(args.select, args.disable)
     deep = _pick_deep_rules(args.select, args.disable) if args.deep \
+        else []
+    shard = _pick_shard_rules(args.select, args.disable) if args.shard \
         else []
     if args.list_rules:
         for rule in rules:
             doc = (sys.modules[type(rule).__module__].__doc__ or "")
             headline = doc.strip().splitlines()[0] if doc.strip() else ""
             print("%s  %-16s %s" % (rule.code, rule.name, headline))
-        for rule in deep:
+        for rule in deep + shard:
             doc = (type(rule).__doc__ or "").strip()
             headline = doc.splitlines()[0] if doc else ""
             print("%s %-16s %s" % (rule.code, rule.name, headline))
         return 0
-    if not rules and not deep:
+    if not rules and not deep and not shard:
         print("simlint: no rules selected", file=sys.stderr)
         return 2
     try:
         findings = run_analysis(args.paths, rules) if rules else []
-        if args.deep and deep:
-            merged = {(f.path, f.line, f.col, f.code, f.message)
-                      for f in findings}
-            for finding in run_deep_analysis(args.paths, deep):
+        merged = {(f.path, f.line, f.col, f.code, f.message)
+                  for f in findings}
+
+        def _fold(extra: List[Finding]) -> None:
+            for finding in extra:
                 key = (finding.path, finding.line, finding.col,
                        finding.code, finding.message)
                 if key not in merged:
                     merged.add(key)
                     findings.append(finding)
-            findings.sort(key=lambda f: f.sort_key)
+
+        if args.deep and deep:
+            _fold(run_deep_analysis(args.paths, deep))
+        if args.shard and (shard or args.shard_inventory):
+            _fold(run_shard_analysis(args.paths, shard,
+                                     inventory=args.shard_inventory))
+        findings.sort(key=lambda f: f.sort_key)
     except OSError as exc:
         print("simlint: cannot read %s: %s"
               % (exc.filename or "path", exc.strerror or exc),
@@ -179,7 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.format == "json":
         _render_json(findings, sys.stdout)
     elif args.format == "sarif":
-        sys.stdout.write(render_sarif(findings, rules + deep))
+        sys.stdout.write(render_sarif(findings, rules + deep + shard))
     else:
         _render_text(findings, sys.stdout)
     return 1 if findings else 0

@@ -43,7 +43,10 @@ __all__ = ["DeepRule", "register_deep", "deep_rules",
            "RngStreamEscapeRule", "HelperEventDiscardedRule",
            "UnorderedKeyTaintRule"]
 
-_DEEP_REGISTRY: List[Type["DeepRule"]] = []
+#: Populated only by the ``register_deep`` decorations at import time,
+#: read-only afterwards — identical in every process, so it cannot
+#: couple shards.
+_DEEP_REGISTRY: List[Type["DeepRule"]] = []  # simlint: disable=R15  import-time registry, read-only after import
 
 
 def register_deep(rule_class: Type["DeepRule"]) -> Type["DeepRule"]:

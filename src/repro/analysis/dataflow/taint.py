@@ -46,7 +46,9 @@ WORKER = "worker-identity"
 UNORDERED = "unordered-iteration"
 
 #: External callables that *produce* taint, by expanded dotted name.
-SOURCES: Dict[str, str] = {}
+#: Filled by the loops below at import time, read-only afterwards —
+#: identical in every process, so it cannot couple shards.
+SOURCES: Dict[str, str] = {}  # simlint: disable=R15  built at import time, read-only after import
 for _name in ("time.time", "time.time_ns", "time.monotonic",
               "time.monotonic_ns", "time.perf_counter",
               "time.perf_counter_ns", "time.process_time",

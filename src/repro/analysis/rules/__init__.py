@@ -25,7 +25,10 @@ from repro.analysis.core import Rule
 
 __all__ = ["register", "default_rules", "registered_rule_classes"]
 
-_REGISTRY: List[Type[Rule]] = []
+#: Populated only by the ``@register`` decorations at import time,
+#: read-only afterwards — identical in every process, so it cannot
+#: couple shards.
+_REGISTRY: List[Type[Rule]] = []  # simlint: disable=R15  import-time registry, read-only after import
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:

@@ -9,9 +9,11 @@ Usage::
     python -m repro overlay
     python -m repro migration
     python -m repro all
-    python -m repro analyze [--path SRC ...] [--deep] [--json | --sarif]
+    python -m repro analyze [--path SRC ...] [--deep] [--shard]
+                            [--shard-inventory FILE] [--json | --sarif]
                             [--baseline FILE]
     python -m repro sanitize {figure1,table1,table2} [--seed N]
+                             [--shard-model {site,host}]
     python -m repro trace {figure1,table1,table2} [--out trace.json]
     python -m repro metrics {figure1,table1,table2} [--json]
     python -m repro profile {figure1,table1,table2} [--seed N] [--top K]
@@ -19,9 +21,14 @@ Usage::
 Each experiment command prints the same tables the benchmark harness
 archives; ``analyze`` runs the simlint static-analysis pass (see
 ``docs/static_analysis.md``) and exits non-zero on findings —
-``--deep`` adds the interprocedural dataflow rules R11-R14.
+``--deep`` adds the interprocedural dataflow rules R11-R14 and
+``--shard`` the shard-affinity rules R15-R19 (``--shard-inventory``
+also regenerates ``docs/shard-safety.md``).
 ``sanitize`` replays a scenario under the simsan runtime determinism
-sanitizer and exits non-zero on hazards or output divergence.  ``trace``
+sanitizer and exits non-zero on hazards or output divergence;
+``--shard-model site|host`` swaps in the shard-affinity sanitizer,
+which additionally reports cross-partition event deliveries
+(zero-delay ones are hazards, lookahead-covered ones informational).  ``trace``
 replays a representative session life cycle for an experiment and
 writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
 ``metrics`` prints the metrics registry after the same run.  See
@@ -205,6 +212,10 @@ def _cmd_analyze(args) -> int:
     argv = list(args.path or [])
     if args.deep:
         argv.append("--deep")
+    if args.shard:
+        argv.append("--shard")
+    if args.shard_inventory:
+        argv.append("--shard-inventory=%s" % args.shard_inventory)
     if args.sarif:
         argv.append("--format=sarif")
     elif args.json:
@@ -215,11 +226,17 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_sanitize(args) -> int:
-    from repro.analysis.sanitizer import DeterminismSanitizer
     from repro.obs.runner import run_scenario
 
     target = _require_target(args)
-    sanitizer = DeterminismSanitizer()
+    if args.shard_model:
+        from repro.analysis.shardsan import ShardAffinitySanitizer
+
+        sanitizer = ShardAffinitySanitizer(shard_model=args.shard_model)
+    else:
+        from repro.analysis.sanitizer import DeterminismSanitizer
+
+        sanitizer = DeterminismSanitizer()
     sim = run_scenario(target, seed=args.seed, tracer=sanitizer)
     hazards = sanitizer.finish()
     # The sanitizer must be a pure observer: replay the scenario
@@ -229,11 +246,20 @@ def _cmd_sanitize(args) -> int:
                  and sim.metrics.to_json() == plain.metrics.to_json())
     for hazard in hazards:
         print(hazard.render())
+    crossings = getattr(sanitizer, "crossings", ())
+    for crossing in crossings:
+        print(crossing.render())
+    suffix = ""
+    if args.shard_model:
+        suffix = (", %d cross-partition crossing(s) under the %s model"
+                  % (len(crossings), args.shard_model))
     print("simsan: %s, seed %d: %d hazard(s), %.2f simulated seconds, "
-          "output %s"
+          "output %s%s"
           % (target, args.seed, len(hazards), sim.now,
              "identical to untraced run" if identical
-             else "DIVERGED from untraced run"))
+             else "DIVERGED from untraced run", suffix))
+    # Crossings are informational (shardable with lookahead); only
+    # hazards — including shard violations — and divergence fail.
     return 1 if hazards or not identical else 0
 
 
@@ -285,6 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deep", action="store_true",
                         help="analyze: add the interprocedural pass "
                              "(rules R11-R14)")
+    parser.add_argument("--shard", action="store_true",
+                        help="analyze: add the shard-affinity pass "
+                             "(rules R15-R19)")
+    parser.add_argument("--shard-inventory", default=None, metavar="FILE",
+                        help="analyze: regenerate the shard-safety "
+                             "inventory at FILE (implies --shard)")
+    parser.add_argument("--shard-model", default=None,
+                        choices=("site", "host"),
+                        help="sanitize: also check shard-affinity at "
+                             "runtime, partitioning by site or by host")
     parser.add_argument("--sarif", action="store_true",
                         help="analyze: emit findings as SARIF 2.1.0")
     parser.add_argument("--baseline", default=None, metavar="FILE",

@@ -258,6 +258,22 @@ class VirtualGrid:
             raise SimulationError("user %s has no home gateway" % user)
         return self._gateways[user]
 
+    def partitions(self, model: str = "site") -> Dict[str, str]:
+        """Host name -> owning partition label under a shard model.
+
+        ``model="site"`` partitions the grid the way the sharded engine
+        would — one shard per site, every host owned by its site —
+        while ``model="host"`` gives the finest split (one shard per
+        physical machine).  The runtime shard-affinity sanitizer
+        (:mod:`repro.analysis.shardsan`) consumes this map to decide
+        which span contexts belong to which partition.
+        """
+        if model not in ("site", "host"):
+            raise SimulationError("unknown shard model %r "
+                                  "(expected 'site' or 'host')" % model)
+        return {name: (machine.site if model == "site" else name)
+                for name, machine in sorted(self._machines.items())}
+
     # -- sessions ----------------------------------------------------------------------
 
     def new_session(self, config: SessionConfig) -> GridSession:

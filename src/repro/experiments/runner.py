@@ -49,24 +49,37 @@ __all__ = ["run_replications", "replication_seeds", "merge_accumulators",
 #: fresh pool per stage costs a fork + interpreter warm-up per worker
 #: per stage; experiments like table2 run six stages back to back, so
 #: the pool is kept until the worker count changes or the process exits.
-_POOL = None
-_POOL_WORKERS = 0
+#: Deliberately process-global *infrastructure*, not model state: the
+#: pool carries no simulation data between tasks (workers receive every
+#: input by argument and return parts by value; see
+#: tests/experiments/test_pool_state_isolation.py for the proof), so
+#: reuse cannot couple replications.
+_POOL = None  # simlint: disable=R15  process infrastructure; workers exchange state only by argument/return
+_POOL_WORKERS = 0  # simlint: disable=R15  paired with _POOL above
+
+
+_ATEXIT_INSTALLED = False  # simlint: disable=R15  one-shot latch for the atexit hook
 
 
 def _warm_pool(workers: int):
     """The shared pool for ``workers`` processes, creating it on demand."""
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _ATEXIT_INSTALLED
     if _POOL is not None and _POOL_WORKERS != workers:
         shutdown_pool()
     if _POOL is None:
         # Imported lazily: sequential runs must not pay for (or depend
         # on) multiprocessing machinery.
-        import atexit
         import multiprocessing
 
         _POOL = multiprocessing.Pool(processes=workers)
         _POOL_WORKERS = workers
-        atexit.register(shutdown_pool)
+        if not _ATEXIT_INSTALLED:
+            # Once per process: re-registering on every pool recreation
+            # would stack duplicate (harmless but unbounded) callbacks.
+            import atexit
+
+            atexit.register(shutdown_pool)
+            _ATEXIT_INSTALLED = True
     return _POOL
 
 
@@ -76,11 +89,12 @@ def shutdown_pool() -> None:
     Registered atexit; also the reset path when a worker dies and the
     pool can no longer be trusted.
     """
-    global _POOL
+    global _POOL, _POOL_WORKERS
     if _POOL is not None:
         _POOL.terminate()
         _POOL.join()
         _POOL = None
+        _POOL_WORKERS = 0
 
 
 def replication_seeds(root_seed: int, name: str, count: int) -> List[int]:

@@ -195,15 +195,6 @@ def _waterfill(items: Sequence[Tuple[object, float, float]],
     return shares
 
 
-#: Process-wide memo of (shares, rates, share_sum) per population
-#: signature — see ``ProcessorSharingCpu._sched_state``.  Values are
-#: pure functions of the key, so sharing the memo across simulations
-#: (and replication worker processes) cannot couple worlds.  Bounded:
-#: cleared wholesale if an adversarial workload produces thousands of
-#: distinct signatures.
-_EPOCH_CACHE: Dict[Tuple, Tuple] = {}
-
-
 class ProcessorSharingCpu:
     """A ``cores``-way CPU shared among tasks and task groups."""
 
@@ -228,6 +219,15 @@ class ProcessorSharingCpu:
         #: CPU-level half of the population signature (immutable).
         self._param_sig = (self.cores, self.speed, self.quantum,
                            self.context_switch_cost)
+        #: Simulation-owned memo of (shares, rates, share_sum) per
+        #: population signature — see ``_sched_state``.  Values are
+        #: pure functions of the key; owning the memo by the simulation
+        #: (not the module) keeps its lifetime one world's, so shards
+        #: and co-resident replications can never couple through it.
+        #: Bounded: cleared wholesale if an adversarial workload
+        #: produces thousands of distinct signatures.
+        self._epoch_cache: Dict[Tuple, Tuple] = \
+            sim.model_cache("cpu.sched_epochs")
         #: Memoized (singles, groups, share_vals, rate_vals, share_sum,
         #: items, order) for the current task population; ``None`` after
         #: any membership or parameter change.  One membership change
@@ -403,16 +403,17 @@ class ProcessorSharingCpu:
                 sig = (self._param_sig,
                        tuple([t._sig for t in singles]), ())
                 order = singles
-            hit = _EPOCH_CACHE.get(sig)
+            epochs = self._epoch_cache
+            hit = epochs.get(sig)
             if hit is None:
                 shares = self._compute_shares(singles, groups)
                 rates = self._compute_rates(shares, singles, groups)
                 share_sum = sum(shares.values())
                 share_vals = tuple([shares[t] for t in order])
                 rate_vals = tuple([rates[t] for t in order])
-                if len(_EPOCH_CACHE) >= 4096:
-                    _EPOCH_CACHE.clear()
-                _EPOCH_CACHE[sig] = (share_vals, rate_vals, share_sum)
+                if len(epochs) >= 4096:
+                    epochs.clear()
+                epochs[sig] = (share_vals, rate_vals, share_sum)
             else:
                 share_vals, rate_vals, share_sum = hit
             items = list(zip(order, rate_vals, share_vals))

@@ -35,6 +35,16 @@ class Counter:
             raise ValueError("counter %s cannot decrease" % self.name)
         self.value += amount
 
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter's total into this one, in place.
+
+        Addition is associative and commutative, so per-shard counters
+        fold to exactly the single-process total regardless of fold
+        order.  Returns ``self`` for chaining.
+        """
+        self.value += other.value
+        return self
+
     def snapshot(self) -> Dict[str, object]:
         return {"type": self.kind, "value": self.value}
 
@@ -86,6 +96,16 @@ class Histogram:
     def count(self) -> int:
         return self.acc.count
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's samples into this one, in place.
+
+        Delegates to :meth:`StatAccumulator.merge` (exact parallel-
+        variance combination), so the result matches a single histogram
+        over both sample sets.  Returns ``self`` for chaining.
+        """
+        self.acc.merge(other.acc)
+        return self
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "type": self.kind,
@@ -129,6 +149,24 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """The histogram under ``name`` (created on first use)."""
         return self._get(name, Histogram)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's metrics into this one, in place.
+
+        Counters and histograms combine exactly (see their ``merge``
+        methods); gauges are last-value-wins, so fold parts in
+        simulation-time order — the replication runner's canonical task
+        order — and the result is deterministic.  Returns ``self``.
+        """
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._get(name, type(theirs))
+            if isinstance(theirs, Gauge):
+                if theirs.value is not None:
+                    mine.set(theirs.value)
+            else:
+                mine.merge(theirs)
+        return self
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -117,6 +117,12 @@ def run_scenario(name: str, seed: int = 0,
     """
     sim = Simulation(seed=seed, tracer=tracer)
     grid, config, app = build_scenario(name, sim, seed=seed)
+    # Partition-aware tracers (the shard-affinity sanitizer) learn the
+    # host -> partition map once the topology exists; duck-typed so the
+    # runner needs no analysis imports.
+    bind_grid = getattr(tracer, "bind_grid", None)
+    if bind_grid is not None:
+        bind_grid(grid)
     session = grid.new_session(config)
 
     def drive(_sim):

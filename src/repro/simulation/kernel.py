@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import (Any, Callable, Deque, Generator, Iterable, List,
-                    Optional, Tuple)
+from typing import (Any, Callable, Deque, Dict, Generator, Iterable,
+                    List, Optional, Tuple)
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -400,6 +400,7 @@ class Simulation:
         self._active_process: Optional[Process] = None
         self._streams = None
         self._metrics = None
+        self._model_caches: Optional[Dict[str, dict]] = None
         #: The attached tracer; the shared null tracer unless one is given.
         self.trace: Tracer = tracer if tracer is not None else NULL_TRACER
         # Hot-path guard: hook sites test one boolean attribute, so an
@@ -435,6 +436,23 @@ class Simulation:
 
             self._metrics = MetricsRegistry()
         return self._metrics
+
+    def model_cache(self, name: str) -> dict:
+        """A named memo dict owned by *this* simulation (lazily created).
+
+        Model layers that want to memoize derived state register a
+        cache here instead of at module level, so the memo's lifetime
+        is the simulation's — two worlds in one process (or two shards
+        of one world) can never couple through it.  The same ``name``
+        always returns the same dict for a given simulation; callers
+        bound its size themselves.
+        """
+        if self._model_caches is None:
+            self._model_caches = {}
+        cache = self._model_caches.get(name)
+        if cache is None:
+            cache = self._model_caches[name] = {}
+        return cache
 
     # -- event factories ---------------------------------------------------
 

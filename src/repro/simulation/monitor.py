@@ -22,7 +22,10 @@ __all__ = ["StatAccumulator", "TimeSeriesMonitor", "set_merge_audit"]
 #: determinism sanitizer (simsan) to check canonical fold order; None
 #: (the default) costs one module-global load per merge.  One slot: a
 #: second installer replaces the first.
-_merge_audit: Optional[Callable] = None
+#: Deliberately process-global: simsan instruments the whole process,
+#: and the hook only *observes* merges (it never feeds a statistic), so
+#: it cannot couple shards.
+_merge_audit: Optional[Callable] = None  # simlint: disable=R15  observer hook; never feeds model state
 
 
 def set_merge_audit(hook: Optional[Callable]) -> None:
@@ -41,7 +44,10 @@ class StatAccumulator:
     #: stable creation rank so the merge audit can verify that parts are
     #: folded in the order they were created (the replication runner's
     #: canonical task order).  Never feeds into any statistic.
-    _creation_counter = itertools.count()
+    #: Ranks are audit metadata only (and cross process boundaries as
+    #: None, see ``__getstate__``), so sharing the counter process-wide
+    #: cannot couple shards.
+    _creation_counter = itertools.count()  # simlint: disable=R15  audit-only rank source; never feeds a statistic
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -215,6 +221,27 @@ class TimeSeriesMonitor:
         """The (time, value) samples falling inside [start, end]."""
         return [(t, v) for t, v in zip(self.times, self.values)
                 if start <= t <= end]
+
+    def merge(self, other: "TimeSeriesMonitor") -> "TimeSeriesMonitor":
+        """Append another monitor's later samples onto this one, in place.
+
+        Time series partition by *time*, not by sample set: a shard
+        handing back its span of a series must start at or after this
+        one's last sample, mirroring the ``record`` ordering rule.
+        Overlapping series raise rather than interleave silently.
+        Returns ``self`` for chaining.
+        """
+        if _merge_audit is not None:
+            _merge_audit(self, other)
+        if other.times:
+            if self.times and other.times[0] < self.times[-1]:
+                raise ValueError(
+                    "cannot merge overlapping time series: %s restarts "
+                    "at %g before %g" % (other.name or "part",
+                                         other.times[0], self.times[-1]))
+            self.times.extend(other.times)
+            self.values.extend(other.values)
+        return self
 
     def __repr__(self) -> str:
         return "<TimeSeriesMonitor %s n=%d>" % (self.name, len(self.times))

@@ -1,0 +1,8 @@
+"""Fixture package for the shard-affinity pass (rules R15-R19).
+
+Laid out like a miniature repro tree so the family classifier sees all
+three entity families: ``shardpkg.hardware`` (host), ``shardpkg.
+middleware`` (site), and everything else (shared).  Each module mixes
+positive cases, suppressed positives and negatives; the tests assert
+on exact lines.  Never imported — the analyzers parse it only.
+"""

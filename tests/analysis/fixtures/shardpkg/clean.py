@@ -1,0 +1,39 @@
+"""Near-miss constructs that must stay silent under R15-R19."""
+
+#: Module-level mutable that nothing ever writes: a lookup table.
+_DEFAULTS = {"quantum": 0.01, "cores": 1}
+
+#: Immutable binding never rebound through ``global``.
+_VERSION = "1.0"
+
+
+def local_scratch(values):
+    # Function-local mutables shadow nothing and report nothing.
+    cache = {}
+    for value in values:
+        cache[value] = value * 2
+    return cache
+
+
+def rebind_local():
+    # Plain local rebinding, no ``global``: stays local.
+    _VERSION = "2.0"  # noqa: F841 (deliberate shadow)
+    return _VERSION
+
+
+def read_defaults(key):
+    return _DEFAULTS.get(key, 0.0)
+
+
+class Orchestrator:
+    """Shared-family class touching anything it likes: no R16/R19."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def rebalance(self, machine, gram):
+        # Shared-family orchestration may mutate both sides directly;
+        # only host<->site writes are crossings.
+        machine.load = 0.0
+        gram.backlog = 0
+        return machine.sim.timeout(0.0)

@@ -1,0 +1,39 @@
+"""Host-family fixture: machines that (mis)behave toward site objects."""
+
+from shardpkg.middleware import GramService
+
+
+class Machine:
+    """A host entity; plain self-state is shard-local (no findings)."""
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.load = 0.0
+        self.tasks = []
+
+    def work(self, amount):
+        self.load += amount          # self-write: shard-local, clean
+        self.tasks.append(amount)    # ditto
+
+    def nap(self):
+        return self.sim.timeout(1.0)  # own timeline: clean
+
+    def report_done(self, gram: GramService):
+        # R16: host code directly mutating a site-family object.
+        gram.backlog -= 1
+        # R16: mutator method on the site object's state.
+        gram.finished.append(self.name)
+        # R19(b): triggering an event owned by the site entity.
+        gram.drained.succeed(self.name)
+
+    def report_quietly(self, gram: GramService):
+        gram.backlog -= 1  # simlint: disable=R16  legacy callback, scheduled for PR-7
+        gram.drained.succeed(None)  # simlint: disable=R19  legacy callback, scheduled for PR-7
+
+    def borrow_clock(self, scheduler):
+        # R19(a): scheduling through another component's sim handle.
+        return scheduler.sim.timeout(0.0)
+
+    def read_only_peek(self, gram: GramService):
+        return gram.backlog  # reading foreign state is not a write

@@ -1,0 +1,32 @@
+"""Site-family fixture: services that (mis)behave toward host objects."""
+
+from shardpkg.hardware import Machine
+
+
+class GramService:
+    """A site entity; own state stays shard-local."""
+
+    def __init__(self, sim, drained):
+        self.sim = sim
+        self.backlog = 0
+        self.finished = []
+        self.drained = drained
+
+    def enqueue(self):
+        self.backlog += 1  # self-write: clean
+
+    def steal_cycles(self, machine: Machine):
+        # R16: site code directly mutating a host-family object.
+        machine.load = 0.0
+        # R16: mutator method on the host object's state.
+        machine.tasks.clear()
+
+    def drain_nicely(self, machine: Machine):
+        machine.load = 0.0  # simlint: disable=R16  reset path, audited by hand
+
+    def inspect(self, machine: Machine):
+        return machine.load  # reads are not crossings
+
+    def local_bookkeeping(self, registry):
+        # Unannotated parameter: the pass cannot place it, stays quiet.
+        registry.entries.append(self.backlog)

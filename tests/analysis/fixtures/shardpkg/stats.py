@@ -1,0 +1,134 @@
+"""Shared-family fixture: global state, caches and accumulators."""
+
+import functools
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: R15: module-level mutable, mutated below.
+_LIVE_WORLDS = []
+
+#: Read-only lookup table: never mutated, never reported.
+_UNITS = {"s": 1.0, "ms": 1e-3}
+
+#: Suppressed positive: mutated, but justified inline.
+_DEBUG_SINKS = []  # simlint: disable=R15  test-only sink, cleared per test
+
+#: R15 via `global` rebinding: immutable initializer, rebound at runtime.
+_ACTIVE_WORLD = None
+
+#: R17: cache-named module state, mutated below.
+_SHARE_CACHE = {}
+
+
+def register_world(world):
+    _LIVE_WORLDS.append(world)
+
+
+def set_active(world):
+    global _ACTIVE_WORLD
+    _ACTIVE_WORLD = world
+
+
+def share_of(key):
+    if key not in _SHARE_CACHE:
+        _SHARE_CACHE[key] = len(str(key))
+    return _SHARE_CACHE[key]
+
+
+def tap(sink):
+    _DEBUG_SINKS.append(sink)
+
+
+@lru_cache(maxsize=None)
+def slow_phi(x):
+    # R17: explicitly unbounded lru_cache.
+    return x * x
+
+
+@functools.cache
+def slow_psi(x):
+    # R17: functools.cache is always unbounded.
+    return x + 1
+
+
+@lru_cache(maxsize=256)
+def bounded_helper(x):
+    # Bounded lru_cache on a plain function: clean.
+    return x - 1
+
+
+class Sampler:
+    """Mutable class: lru_cache on its method pins instances (R17)."""
+
+    def __init__(self, scale):
+        self.scale = scale
+
+    @lru_cache(maxsize=64)
+    def scaled(self, x):
+        return self.scale * x
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Frozen dataclass: the sanctioned value-keyed memo pattern."""
+
+    rate: float
+
+    @lru_cache(maxsize=64)
+    def cost(self, n):
+        return self.rate * n
+
+
+class RunningTotal:
+    """R18: takes samples, cannot be folded back."""
+
+    _ids = itertools.count()  # simlint: disable=R15  audit-only rank source (mirrors StatAccumulator)
+
+    def __init__(self):
+        self.total = 0.0
+        self.seq = next(RunningTotal._ids)
+
+    def add(self, value):
+        self.total += value
+
+
+class SampleLog:
+    """R18 via append: records samples, no merge."""
+
+    def __init__(self):
+        self.samples = []
+
+    def record(self, value):
+        self.samples.append(value)
+
+
+class MergeableTotal:
+    """Negative: same intake shape, but merge exists."""
+
+    def __init__(self):
+        self.total = 0.0
+
+    def add(self, value):
+        self.total += value
+
+    def merge(self, other):
+        self.total += other.total
+        return self
+
+
+class InheritedTotal(MergeableTotal):
+    """Negative: merge arrives from the base class."""
+
+    def add(self, value):
+        self.total += 2.0 * value
+
+
+class QuietLog:  # simlint: disable=R18  scratch log, never crosses a shard
+    """Suppressed positive: intake without merge, justified."""
+
+    def __init__(self):
+        self.samples = []
+
+    def record(self, value):
+        self.samples.append(value)

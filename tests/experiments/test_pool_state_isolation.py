@@ -1,0 +1,91 @@
+"""Warm-pool reuse must be invisible in experiment results.
+
+The replication runner keeps one ``multiprocessing`` pool warm across
+experiment stages (see ``repro.experiments.runner``).  A reused worker
+process carries everything a previous task left behind at module or
+class level, so any process-global model state would let one
+replication bleed into the next.  These tests pin the contract: the
+same tasks produce byte-for-byte identical results whether they run
+
+* sequentially in this process (the historical reference path),
+* on the warm pool, reused across two consecutive stages,
+* on a throwaway pool with ``maxtasksperchild=1`` — a genuinely fresh
+  interpreter per task, the strictest baseline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import struct
+
+import pytest
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import (
+    replication_seeds,
+    run_replications,
+    shutdown_pool,
+)
+from repro.experiments.table2 import startup_sample
+
+
+def _tasks():
+    seeds = replication_seeds(42, "pool-isolation", 3)
+    tasks = [("restore", "nonpersistent-diskfs", seed) for seed in seeds]
+    tasks.append(("reboot", "persistent", seeds[0]))
+    return tasks
+
+
+def _as_bytes(values):
+    """Exact byte encoding: equality below means bit-for-bit floats."""
+    return struct.pack("<%dd" % len(values), *values)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_state():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def test_pool_reuse_matches_fresh_processes():
+    tasks = _tasks()
+    sequential = [startup_sample(*task) for task in tasks]
+
+    # Strictest reference: every task in a brand-new worker process.
+    with multiprocessing.Pool(2, maxtasksperchild=1) as throwaway:
+        fresh = throwaway.starmap(startup_sample, tasks)
+
+    # The warm pool, exercised across two stages so the second stage
+    # runs in workers that already executed the first stage's worlds.
+    first = run_replications(startup_sample, tasks, workers=2)
+    pool_after_first = runner_mod._POOL
+    second = run_replications(startup_sample, tasks, workers=2)
+
+    assert runner_mod._POOL is pool_after_first, \
+        "second stage should reuse the warm pool, not rebuild it"
+    assert _as_bytes(first) == _as_bytes(sequential)
+    assert _as_bytes(second) == _as_bytes(sequential)
+    assert _as_bytes(fresh) == _as_bytes(sequential)
+
+
+def test_worker_count_change_rebuilds_pool_and_preserves_results():
+    tasks = _tasks()
+    sequential = [startup_sample(*task) for task in tasks]
+
+    two = run_replications(startup_sample, tasks, workers=2)
+    pool_two = runner_mod._POOL
+    three = run_replications(startup_sample, tasks, workers=3)
+
+    assert runner_mod._POOL is not pool_two
+    assert runner_mod._POOL_WORKERS == 3
+    assert _as_bytes(two) == _as_bytes(sequential)
+    assert _as_bytes(three) == _as_bytes(sequential)
+
+
+def test_shutdown_resets_worker_count():
+    run_replications(startup_sample, _tasks()[:2], workers=2)
+    assert runner_mod._POOL_WORKERS == 2
+    shutdown_pool()
+    assert runner_mod._POOL is None
+    assert runner_mod._POOL_WORKERS == 0
