@@ -6,18 +6,18 @@
 # test suite (which includes the workers=1 vs workers=N
 # parallel-determinism tests), the simsan runtime determinism
 # sanitizer over a reduced-scale scenario — plain and under the
-# shard-affinity model — and the observability smoke test (trace
-# determinism + null-tracer overhead guard).
+# shard-affinity model — and the observability smoke tests (trace and
+# flight-record determinism + tracer/recorder overhead guards).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint shardcheck baseline test parallel-determinism \
-	sanitize sanitize-shard trace-smoke golden-guard bench \
-	bench-experiments experiments
+	sanitize sanitize-shard trace-smoke record-smoke golden-guard \
+	bench bench-experiments experiments
 
 check: lint shardcheck test parallel-determinism sanitize \
-	sanitize-shard trace-smoke golden-guard
+	sanitize-shard trace-smoke record-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
@@ -69,6 +69,17 @@ trace-smoke:
 	rm -f .trace-smoke-a.json .trace-smoke-b.json
 	$(PYTHON) -m pytest -x -q tests/obs/test_overhead_guard.py \
 	    tests/obs/test_trace_determinism.py
+
+# Record the table2 scenario's flight data twice at the same seed:
+# the exported JSONL heartbeat log must be byte-identical, and the
+# recorder must not perturb the run or tax it (tests/obs and
+# benchmarks/test_recorder_overhead.py hold the pytest versions).
+record-smoke:
+	$(PYTHON) -m repro record table2 --seed 42 --out .record-smoke-a.jsonl
+	$(PYTHON) -m repro record table2 --seed 42 --out .record-smoke-b.jsonl
+	cmp .record-smoke-a.jsonl .record-smoke-b.jsonl
+	rm -f .record-smoke-a.jsonl .record-smoke-b.jsonl
+	$(PYTHON) -m pytest -x -q tests/obs/test_recorder.py
 
 # Model-layer fast paths must be invisible: regenerate Table 2 at
 # seed 42 and byte-compare it against the committed golden (recorded

@@ -1,0 +1,102 @@
+"""Flight-recorder overhead: ≤5% recording, <1% when not recording.
+
+Times a metric-churn workload (processes observing histograms and
+bumping counters every hop — the registry state a recorder snapshots)
+three ways: with no recorder, with a recorder constructed but never
+started (the null path every non-recording run takes), and with a
+heartbeat recorder sampling every simulated second.  Interleaved
+min-of-N timing, as in ``test_null_tracer_overhead.py``.
+
+Run with ``pytest benchmarks/test_recorder_overhead.py -v``.
+"""
+
+import timeit
+
+from repro.core.reporting import format_table
+from repro.obs.recorder import FlightRecorder
+from repro.simulation import Simulation
+
+#: Acceptance bounds from the observability issue.
+MAX_RECORDING_OVERHEAD = 0.05
+MAX_NULL_OVERHEAD = 0.01
+
+ROUNDS = 30
+PROCESSES = 50
+HOPS = 400
+
+
+def churn(recorder_mode):
+    """Run the workload; returns (sim, recorder-or-None)."""
+    sim = Simulation()
+
+    def worker(sim, i, latency, hops):
+        for hop in range(HOPS):
+            yield sim.timeout(1e-3 * (i + 1))
+            latency.observe(1e-3 * (i + 1) * (1 + hop % 3))
+            hops.inc()
+
+    workers = []
+    for i in range(PROCESSES):
+        scope = sim.metrics.scoped("shard%d" % (i % 4))
+        workers.append(sim.spawn(
+            worker(sim, i, scope.histogram("hop.latency"),
+                   scope.counter("hops")),
+            name="churn-%d" % i))
+    recorder = None
+    if recorder_mode != "none":
+        recorder = FlightRecorder(sim, interval=1.0)
+        if recorder_mode == "recording":
+            recorder.start()
+
+    def drive(sim, workers):
+        yield sim.all_of(workers)
+
+    driver = sim.spawn(drive(sim, workers), name="driver")
+    sim.run_until_complete(driver)
+    if recorder is not None and recorder_mode == "recording":
+        recorder.stop()
+    return sim, recorder
+
+
+def test_recorder_overhead_within_bounds(report):
+    # Attaching (or even running) the recorder must not perturb the
+    # model: same end time, same metric export.
+    plain, _ = churn("none")
+    recorded, recorder = churn("recording")
+    assert recorded.now == plain.now
+    assert recorded.metrics.to_json() == plain.metrics.to_json()
+    assert recorder.entries
+
+    modes = ("none", "idle", "recording")
+    for mode in modes:  # warm caches and allocators before timing
+        churn(mode)
+    timings = {mode: [] for mode in modes}
+    for round_ in range(ROUNDS):
+        # Rotate the in-round order so slow clock drift hits every
+        # mode equally instead of biasing whichever runs last.
+        for k in range(len(modes)):
+            mode = modes[(round_ + k) % len(modes)]
+            timings[mode].append(timeit.timeit(
+                lambda mode=mode: churn(mode), number=1))
+
+    best = {mode: min(times) for mode, times in timings.items()}
+    null_overhead = best["idle"] / best["none"] - 1.0
+    recording_overhead = best["recording"] / best["none"] - 1.0
+    events = PROCESSES * HOPS
+    report(format_table(
+        ["Mode", "Best(s)", "Events/s", "Overhead"],
+        [["no recorder", "%.4f" % best["none"],
+          "%.0f" % (events / best["none"]), "-"],
+         ["constructed, not started", "%.4f" % best["idle"],
+          "%.0f" % (events / best["idle"]),
+          "%.2f%%" % (100 * null_overhead)],
+         ["recording @ 1s heartbeat", "%.4f" % best["recording"],
+          "%.0f" % (events / best["recording"]),
+          "%.2f%%" % (100 * recording_overhead)]],
+        title="Flight-recorder overhead (min of %d rounds)" % ROUNDS))
+    assert null_overhead < MAX_NULL_OVERHEAD, \
+        "idle recorder costs %.2f%% (>= %.0f%%)" \
+        % (100 * null_overhead, 100 * MAX_NULL_OVERHEAD)
+    assert recording_overhead <= MAX_RECORDING_OVERHEAD, \
+        "recording costs %.2f%% (> %.0f%%)" \
+        % (100 * recording_overhead, 100 * MAX_RECORDING_OVERHEAD)

@@ -55,6 +55,7 @@ def default_rules() -> List[Rule]:
 # Importing the built-in rule modules populates the registry.
 from repro.analysis.rules import (  # noqa: E402,F401  (import for effect)
     blocking,
+    collectors,
     events,
     floateq,
     heapkeys,

@@ -16,6 +16,10 @@ Usage::
                              [--shard-model {site,host}]
     python -m repro trace {figure1,table1,table2} [--out trace.json]
     python -m repro metrics {figure1,table1,table2} [--json]
+    python -m repro record {figure1,table1,table2} [--interval T]
+                           [--capacity N] [--out FILE]
+    python -m repro report {figure1,table1,table2} [--interval T]
+                           [--format {text,markdown}]
     python -m repro profile {figure1,table1,table2} [--seed N] [--top K]
 
 Each experiment command prints the same tables the benchmark harness
@@ -31,8 +35,13 @@ which additionally reports cross-partition event deliveries
 (zero-delay ones are hazards, lookahead-covered ones informational).  ``trace``
 replays a representative session life cycle for an experiment and
 writes a Chrome-trace-event JSON file (load it at ui.perfetto.dev);
-``metrics`` prints the metrics registry after the same run.  See
-``docs/observability.md``.  ``profile`` replays the same life cycle
+``metrics`` prints the metrics registry after the same run.  ``record``
+replays the run with a flight recorder heartbeating every ``--interval``
+simulated seconds and writes the snapshot ring as JSONL (byte-identical
+per seed); ``report`` renders the same run as an operator report —
+throughput, latency percentiles, utilization, SLA violations and a
+per-partition rollup.  See ``docs/observability.md``.
+``profile`` replays the same life cycle
 under :mod:`cProfile` and prints the top functions by cumulative time
 (``docs/performance.md``) — the entry point every fast path in the
 model layer was justified from.
@@ -189,6 +198,34 @@ def _cmd_metrics(args) -> None:
             title="Metrics: %s (seed %d)" % (target, args.seed)))
 
 
+def _cmd_record(args) -> None:
+    from repro.obs.runner import record_experiment
+
+    target = _require_target(args)
+    out = args.out or "%s-record.jsonl" % target
+    sim, _grid, recorder = record_experiment(
+        target, interval=args.interval, seed=args.seed,
+        capacity=args.capacity)
+    count = recorder.write(out)
+    print("wrote %s: %d heartbeat(s) at %gs intervals, "
+          "%.2f simulated seconds"
+          % (out, count, args.interval, sim.now))
+
+
+def _cmd_report(args) -> None:
+    from repro.obs.report import render_report
+    from repro.obs.runner import record_experiment
+
+    target = _require_target(args)
+    sim, grid, recorder = record_experiment(
+        target, interval=args.interval, seed=args.seed,
+        capacity=args.capacity)
+    print(render_report(
+        sim, grid=grid, recorder=recorder,
+        title="Run report: %s (seed %d)" % (target, args.seed),
+        fmt=args.format), end="")
+
+
 def _cmd_profile(args) -> None:
     import cProfile
     import pstats
@@ -274,6 +311,8 @@ _COMMANDS = {
     "sanitize": _cmd_sanitize,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "record": _cmd_record,
+    "report": _cmd_report,
     "profile": _cmd_profile,
 }
 
@@ -329,6 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--top", type=int, default=25,
                         help="profile: how many functions to print "
                              "(default 25)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="record/report: flight-recorder heartbeat "
+                             "period in simulated seconds (default 1.0)")
+    parser.add_argument("--capacity", type=int, default=512,
+                        help="record/report: flight-recorder ring size "
+                             "(default 512 heartbeats)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "markdown"),
+                        help="report: output format (default text)")
     return parser
 
 

@@ -31,6 +31,7 @@ from repro.middleware.gridftp import GridFtpService
 from repro.middleware.imageserver import ImageServer
 from repro.middleware.information import InformationService, VmFuture
 from repro.middleware.session import GridSession, SessionConfig
+from repro.obs.sla import DEFAULT_SLA, SlaPolicy
 from repro.simulation.kernel import Simulation, SimulationError
 from repro.simulation.randomness import RandomStreams
 from repro.storage.transfer import FileStager
@@ -51,10 +52,12 @@ class VirtualGrid:
     """A complete VM-based computational grid in one object."""
 
     def __init__(self, sim: Optional[Simulation] = None, seed: int = 0,
-                 costs: Optional[VmmCosts] = None):
+                 costs: Optional[VmmCosts] = None,
+                 sla: Optional[SlaPolicy] = None):
         self.sim = sim or Simulation(seed=seed)
         self.streams = RandomStreams(seed)
         self.costs = costs or VmmCosts()
+        self.sla = sla or DEFAULT_SLA
         self.network = Network(self.sim, name="grid-net")
         self.network.add_router(_BACKBONE)
         self.engine = FlowEngine(self.sim, self.network)
@@ -128,7 +131,9 @@ class VirtualGrid:
         self._vmms[name] = VirtualMachineMonitor(host, costs=self.costs)
         self._grams[name] = GramGateway(self.sim, name,
                                         rng=self.streams.stream(
-                                            "gram/" + name))
+                                            "gram/" + name),
+                                        metrics=self.scoped_metrics(name),
+                                        sla=self.sla)
         self.info.register("machines", host.machine.describe())
         future = VmFuture(name, site, vm_futures, max_memory_mb,
                           scheduling=scheduling)
@@ -273,6 +278,24 @@ class VirtualGrid:
                                   "(expected 'site' or 'host')" % model)
         return {name: (machine.site if model == "site" else name)
                 for name, machine in sorted(self._machines.items())}
+
+    def partition_of(self, host_name: str, model: str = "site") -> str:
+        """The shard label owning ``host_name`` ('' if unknown)."""
+        machine = self._machines.get(host_name)
+        if machine is None:
+            return ""
+        return machine.site if model == "site" else host_name
+
+    def scoped_metrics(self, host_name: str):
+        """A metrics view keyed to the host's partition.
+
+        Components owned by one host resolve their metrics through this
+        once at construction, so every collector they create carries
+        the shard key that :meth:`partitions` would assign the host —
+        the property that lets per-shard registries merge to exactly
+        the single-process result.
+        """
+        return self.sim.metrics.scoped(self.partition_of(host_name))
 
     # -- sessions ----------------------------------------------------------------------
 

@@ -52,6 +52,13 @@ __all__ = ["CpuTask", "TaskGroup", "ProcessorSharingCpu"]
 #: Tolerance below which remaining work counts as finished (CPU-seconds).
 _WORK_EPSILON = 1e-9
 
+#: Retention window (simulated seconds) for the CPU's utilization and
+#: run-queue monitors.  Generous — an hour covers every experiment in
+#: the suite, so point queries behave as before — but it bounds memory
+#: on long steady-state runs; full-range ``time_average`` stays exact
+#: across evictions (the monitor carries the dropped integral).
+MONITOR_WINDOW = 3600.0
+
 
 class TaskGroup:
     """A scheduling container: one host-visible entity, many member tasks.
@@ -236,9 +243,11 @@ class ProcessorSharingCpu:
         #: call chains).
         self._sched_cache: Optional[Tuple] = None
         #: Fraction of total capacity in use, sampled at membership changes.
-        self.utilization = TimeSeriesMonitor(name + ".utilization")
+        self.utilization = TimeSeriesMonitor(name + ".utilization",
+                                             window=MONITOR_WINDOW)
         #: Number of host-schedulable entities, sampled at changes.
-        self.run_queue = TimeSeriesMonitor(name + ".runqueue")
+        self.run_queue = TimeSeriesMonitor(name + ".runqueue",
+                                           window=MONITOR_WINDOW)
 
     # -- public API ---------------------------------------------------------
 

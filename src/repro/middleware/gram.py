@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Any, Generator, Optional
 
+from repro.obs.sla import DEFAULT_SLA, SlaPolicy
 from repro.simulation.kernel import Simulation, SimulationError
 
 __all__ = ["GramGateway", "GramJob"]
@@ -55,7 +56,8 @@ class GramGateway:
     def __init__(self, sim: Simulation, resource_name: str,
                  auth_time: float = 1.5, jobmanager_start: float = 0.6,
                  poll_interval: float = 2.0,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 metrics=None, sla: Optional[SlaPolicy] = None):
         if min(auth_time, jobmanager_start, poll_interval) < 0:
             raise SimulationError("GRAM times must be non-negative")
         self.sim = sim
@@ -66,6 +68,14 @@ class GramGateway:
         self.rng = rng if rng is not None \
             else sim.streams.stream("gram/" + resource_name)
         self.jobs_dispatched = 0
+        self.sla = sla or DEFAULT_SLA
+        # ``metrics`` is a registry or partition scope (the grid hands
+        # each gateway a view keyed to its host's shard); resolved once
+        # here so submit() pays plain attribute calls.
+        scope = metrics if metrics is not None else sim.metrics
+        self._queue_wait = scope.histogram("sched.queue_wait")
+        self._wait_violations = scope.counter("sla.queue_wait.violations")
+        self._dispatch_rate = scope.rate("sched.dispatch", window=60.0)
 
     def submit(self, body: Generator, name: str = "job"):
         """Process generator: run ``body`` under globusrun timing.
@@ -83,8 +93,11 @@ class GramGateway:
                                * (1.0 + self.rng.uniform(-0.15, 0.15)))
         yield self.sim.timeout(self.jobmanager_start)
         job.started_at = self.sim.now
-        self.sim.metrics.histogram("sched.queue_wait").observe(
-            job.started_at - job.submitted_at)
+        wait = job.started_at - job.submitted_at
+        self._queue_wait.observe(wait)
+        if wait > self.sla.queue_wait_seconds:
+            self._wait_violations.inc()
+        self._dispatch_rate.mark(self.sim.now)
         job.result = yield from body
         # The jobmanager notices completion at its next poll.
         if self.poll_interval > 0:

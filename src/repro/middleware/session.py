@@ -128,10 +128,23 @@ class GridSession:
         self.steps.append(record)
         return record
 
+    def _metrics(self):
+        """The metrics view session observations go to.
+
+        Keyed to the compute host's partition once a VMM is chosen
+        (step 1 onward), so per-shard registries fold to exactly the
+        single-process result; duck-typed so bare test grids without
+        ``scoped_metrics`` still work.
+        """
+        scoped = getattr(self.grid, "scoped_metrics", None)
+        if scoped is not None and self.vmm is not None:
+            return scoped(self.vmm.machine.name)
+        return self.sim.metrics
+
     def _finish(self, record: StepRecord) -> None:
         record.finished = self.sim.now
         self.sim.trace.end(record.span)
-        self.sim.metrics.histogram(
+        self._metrics().histogram(
             "session.step%d.duration" % record.index).observe(
                 record.finished - record.started)
 
@@ -206,6 +219,17 @@ class GridSession:
         grid.info.register("vms", self.vm.state_summary())
         grid.accounts.bind_vm(config.user, self.vm.name)
         self._established = True
+
+        # SLA accounting: full establish latency (steps 1-5) against
+        # the grid's session-start objective.
+        metrics = self._metrics()
+        latency = self.sim.now - self.steps[0].started
+        metrics.histogram("sla.session_start.latency").observe(latency)
+        sla = getattr(grid, "sla", None)
+        if sla is not None and latency > sla.session_start_seconds:
+            metrics.counter("sla.session_start.violations").inc()
+        metrics.counter("session.established").inc()
+        metrics.rate("session.starts", window=600.0).mark(self.sim.now)
         return self
 
     def _image_session(self):

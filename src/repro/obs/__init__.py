@@ -8,14 +8,23 @@ so this package makes the simulated stack observable end to end:
   default, zero-cost on the kernel hot path), sim-time spans, and the
   recording :class:`TraceRecorder`;
 * :mod:`repro.obs.metrics` — a hierarchical :class:`MetricsRegistry`
-  (counters, gauges, histograms) owned by each simulation
-  (``sim.metrics``);
+  (counters, gauges, histograms, rates; partition-keyed) owned by each
+  simulation (``sim.metrics``);
+* :mod:`repro.obs.windows` — bounded-memory collector backends: the
+  deterministic :class:`QuantileHistogram` and windowed
+  :class:`RateSeries`;
+* :mod:`repro.obs.recorder` — the :class:`FlightRecorder`, a sim-time
+  heartbeat snapshotting the registry into a bounded ring (JSONL
+  export, per-shard merge);
+* :mod:`repro.obs.sla` — the :class:`SlaPolicy` thresholds consumed by
+  the session and GRAM layers;
 * :mod:`repro.obs.chrome` — Chrome-trace-event JSON export, loadable
   in Perfetto / ``chrome://tracing``;
-* :mod:`repro.obs.runner` — traced single-run scenarios behind the
-  ``repro trace`` / ``repro metrics`` CLI commands (imported lazily by
-  the CLI; not re-exported here to keep this package importable from
-  the kernel).
+* :mod:`repro.obs.runner` / :mod:`repro.obs.report` — traced
+  single-run scenarios and the run-report renderer behind the
+  ``repro trace`` / ``metrics`` / ``record`` / ``report`` CLI commands
+  (imported lazily by the CLI; not re-exported here to keep this
+  package importable from the kernel).
 
 See ``docs/observability.md`` for the protocol, naming conventions and
 a Perfetto walkthrough.
@@ -27,6 +36,8 @@ from repro.obs.chrome import (
     export_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import FlightEntry, FlightRecorder
+from repro.obs.sla import DEFAULT_SLA, SlaPolicy
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -35,14 +46,21 @@ from repro.obs.tracer import (
     TraceRecorder,
     Tracer,
 )
+from repro.obs.windows import QuantileHistogram, RateSeries
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLA",
+    "FlightEntry",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QuantileHistogram",
+    "RateSeries",
+    "SlaPolicy",
     "Span",
     "TraceError",
     "TraceRecorder",

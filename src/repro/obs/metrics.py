@@ -1,4 +1,4 @@
-"""A hierarchical metrics registry: counters, gauges, histograms.
+"""A hierarchical metrics registry: counters, gauges, histograms, rates.
 
 Metric names are dotted paths following ``layer.component.metric``
 (``storage.pvfs.cache_hits``, ``vmm.boot.duration``,
@@ -7,6 +7,15 @@ Metric names are dotted paths following ``layer.component.metric``
 registry (``sim.metrics``); components resolve their metric objects once
 at construction and then update them with plain attribute calls, keeping
 the record path allocation-free.
+
+**Partition keying.**  Every metric optionally carries a *partition*
+label — the shard key from :meth:`repro.core.grid.VirtualGrid
+.partitions` (a site or host name).  A partitioned metric is stored
+under ``name[partition]``, so per-shard registries hold disjoint keys
+and :meth:`MetricsRegistry.merge` folds them to exactly the
+single-process result; :meth:`MetricsRegistry.aggregate` folds the
+partitions of each base name back into one total.  Components obtain a
+partition-bound view with :meth:`MetricsRegistry.scoped`.
 
 Snapshots are pure functions of the recorded values: exports sort by
 metric name and use a fixed JSON encoding, so two same-seed runs emit
@@ -17,7 +26,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+from repro.obs.windows import QuantileHistogram, RateSeries
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "PartitionScope", "storage_key"]
+
+
+def storage_key(name: str, partition: str = "") -> str:
+    """The registry key of a metric: ``name`` or ``name[partition]``."""
+    if not partition:
+        return name
+    return "%s[%s]" % (name, partition)
 
 
 class Counter:
@@ -25,8 +44,9 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, partition: str = ""):
         self.name = name
+        self.partition = partition
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -46,10 +66,15 @@ class Counter:
         return self
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self.value}
+        snap: Dict[str, object] = {"type": self.kind, "value": self.value}
+        if self.partition:
+            snap["partition"] = self.partition
+        return snap
 
     def __repr__(self) -> str:
-        return "<Counter %s=%.6g>" % (self.name, self.value)
+        return "<Counter %s=%.6g>" % (storage_key(self.name,
+                                                  self.partition),
+                                      self.value)
 
 
 class Gauge:
@@ -57,57 +82,80 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, partition: str = ""):
         self.name = name
+        self.partition = partition
         self.value: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def snapshot(self) -> Dict[str, object]:
-        return {"type": self.kind, "value": self.value}
+        snap: Dict[str, object] = {"type": self.kind, "value": self.value}
+        if self.partition:
+            snap["partition"] = self.partition
+        return snap
 
     def __repr__(self) -> str:
-        return "<Gauge %s=%r>" % (self.name, self.value)
+        return "<Gauge %s=%r>" % (storage_key(self.name, self.partition),
+                                  self.value)
 
 
 class Histogram:
-    """A distribution of observed samples (count/mean/stdev/min/max)."""
+    """A distribution of observed samples.
+
+    Combines two bounded-memory summaries of the same observations: a
+    :class:`~repro.simulation.monitor.StatAccumulator` (exact streaming
+    count/mean/stdev/min/max, O(1) state) and a
+    :class:`~repro.obs.windows.QuantileHistogram` (deterministic
+    p50/p95/p99 to bucket resolution, O(occupied buckets) state).
+    Neither retains raw samples, so memory stays flat at any
+    observation count.
+    """
 
     kind = "histogram"
 
-    def __init__(self, name: str):
+    #: Percentiles included in snapshots and reports.
+    PERCENTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self, name: str, partition: str = ""):
         # Deferred import: repro.obs is imported by the simulation kernel
         # module itself, so module-level imports back into repro.simulation
         # would re-enter a partially initialized package.
         from repro.simulation.monitor import StatAccumulator
 
         self.name = name
+        self.partition = partition
         self.acc = StatAccumulator(name)
-        # Pre-bind the accumulator's add as the record method: observers
-        # resolve `histogram.observe` once at construction, and each
-        # record then costs one bound-method call instead of two.
-        self.observe = self.acc.add
+        self.quantiles = QuantileHistogram(name)
 
-    def observe(self, value: float) -> None:  # overridden per instance
+    def observe(self, value: float) -> None:
+        """Record one observation into both summaries."""
         self.acc.add(value)
+        self.quantiles.add(value)
 
     @property
     def count(self) -> int:
         return self.acc.count
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile, exact to bucket resolution (None when empty)."""
+        return self.quantiles.quantile(q)
+
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold another histogram's samples into this one, in place.
 
-        Delegates to :meth:`StatAccumulator.merge` (exact parallel-
-        variance combination), so the result matches a single histogram
-        over both sample sets.  Returns ``self`` for chaining.
+        The accumulator combines via :meth:`StatAccumulator.merge`
+        (exact parallel variance; fold parts in canonical task order
+        for bit-stable means) and the quantile digest via bucket-count
+        addition (fold-order invariant).  Returns ``self``.
         """
         self.acc.merge(other.acc)
+        self.quantiles.merge(other.quantiles)
         return self
 
     def snapshot(self) -> Dict[str, object]:
-        return {
+        snap: Dict[str, object] = {
             "type": self.kind,
             "count": self.acc.count,
             "mean": self.acc.mean,
@@ -115,52 +163,139 @@ class Histogram:
             "min": self.acc.minimum,
             "max": self.acc.maximum,
         }
+        for q in self.PERCENTILES:
+            snap["p%g" % (100 * q)] = self.quantiles.quantile(q)
+        if self.partition:
+            snap["partition"] = self.partition
+        return snap
 
     def __repr__(self) -> str:
-        return "<Histogram %s n=%d>" % (self.name, self.acc.count)
+        return "<Histogram %s n=%d>" % (storage_key(self.name,
+                                                    self.partition),
+                                        self.acc.count)
 
 
-Metric = Union[Counter, Gauge, Histogram]
+Metric = Union[Counter, Gauge, Histogram, RateSeries]
+
+#: Metric classes by kind, used when folding foreign registries.
+_FACTORIES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class PartitionScope:
+    """A partition-bound view of a registry.
+
+    Hands out metrics carrying this scope's shard key; everything else
+    delegates to the parent registry.  Components owned by one host or
+    site resolve their metrics through a scope once at construction
+    (``grid.scoped_metrics(host)``), so the record path is unchanged.
+    """
+
+    __slots__ = ("registry", "partition")
+
+    def __init__(self, registry: "MetricsRegistry", partition: str):
+        self.registry = registry
+        self.partition = partition
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name, partition=self.partition)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(name, partition=self.partition)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(name, partition=self.partition)
+
+    def rate(self, name: str, window: float = 60.0) -> RateSeries:
+        return self.registry.rate(name, window=window,
+                                  partition=self.partition)
+
+    def __repr__(self) -> str:
+        return "<PartitionScope %r of %r>" % (self.partition, self.registry)
 
 
 class MetricsRegistry:
-    """Get-or-create metric objects by dotted name, plus exports."""
+    """Get-or-create metric objects by dotted name, plus exports.
 
-    def __init__(self):
+    ``partition`` is the registry's *default* shard key: a shard-local
+    registry constructed as ``MetricsRegistry(partition="uf")`` keys
+    every metric it creates, so per-shard registries merge into the
+    single-process registry without renaming.
+    """
+
+    def __init__(self, partition: str = ""):
+        self.partition = partition
         self._metrics: Dict[str, Metric] = {}
 
-    def _get(self, name: str, factory) -> Metric:
-        metric = self._metrics.get(name)
+    def _get(self, name: str, factory, partition: Optional[str]) -> Metric:
+        if partition is None:
+            partition = self.partition
+        key = storage_key(name, partition)
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[name] = factory(name)
+            metric = self._metrics[key] = factory(name,
+                                                  partition=partition)
         elif not isinstance(metric, factory):
             raise TypeError("metric %s is a %s, not a %s"
-                            % (name, metric.kind, factory.kind))
+                            % (key, metric.kind, factory.kind))
         return metric
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                partition: Optional[str] = None) -> Counter:
         """The counter registered under ``name`` (created on first use)."""
-        return self._get(name, Counter)
+        return self._get(name, Counter, partition)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, partition: Optional[str] = None) -> Gauge:
         """The gauge registered under ``name`` (created on first use)."""
-        return self._get(name, Gauge)
+        return self._get(name, Gauge, partition)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  partition: Optional[str] = None) -> Histogram:
         """The histogram under ``name`` (created on first use)."""
-        return self._get(name, Histogram)
+        return self._get(name, Histogram, partition)
+
+    def rate(self, name: str, window: float = 60.0,
+             partition: Optional[str] = None) -> RateSeries:
+        """The windowed rate series under ``name`` (created on first use).
+
+        ``window`` only applies on creation; later calls return the
+        existing series whatever its window.
+        """
+        if partition is None:
+            partition = self.partition
+        key = storage_key(name, partition)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = RateSeries(name, window=window)
+            metric.partition = partition  # type: ignore[attr-defined]
+            self._metrics[key] = metric
+        elif not isinstance(metric, RateSeries):
+            raise TypeError("metric %s is a %s, not a rate"
+                            % (key, metric.kind))
+        return metric
+
+    def scoped(self, partition: str) -> PartitionScope:
+        """A view handing out metrics keyed to ``partition``."""
+        return PartitionScope(self, partition)
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's metrics into this one, in place.
 
-        Counters and histograms combine exactly (see their ``merge``
-        methods); gauges are last-value-wins, so fold parts in
-        simulation-time order — the replication runner's canonical task
-        order — and the result is deterministic.  Returns ``self``.
+        Counters, histograms and quantile digests combine exactly (see
+        their ``merge`` methods); gauges are last-value-wins, so fold
+        parts in simulation-time order — the replication runner's
+        canonical task order — and the result is deterministic.
+        Per-shard registries carry disjoint partition keys, so folding
+        them reproduces exactly the single-process registry.  Returns
+        ``self``.
         """
-        for name in other.names():
-            theirs = other._metrics[name]
-            mine = self._get(name, type(theirs))
+        for key in other.names():
+            theirs = other._metrics[key]
+            if isinstance(theirs, RateSeries):
+                mine = self.rate(theirs.name, window=theirs.window,
+                                 partition=getattr(theirs, "partition", ""))
+                mine.merge(theirs)
+                continue
+            mine = self._get(theirs.name, type(theirs), theirs.partition)
             if isinstance(theirs, Gauge):
                 if theirs.value is not None:
                     mine.set(theirs.value)
@@ -168,23 +303,53 @@ class MetricsRegistry:
                 mine.merge(theirs)
         return self
 
+    def aggregate(self, prefix: str = "") -> "MetricsRegistry":
+        """A new registry with every base name's partitions folded.
+
+        Partitions fold in sorted-key order (deterministic regardless
+        of how this registry was assembled); gauges keep the value of
+        the last partition in that order.
+        """
+        folded = MetricsRegistry()
+        for key in self.names(prefix):
+            theirs = self._metrics[key]
+            folded.merge_metric(theirs)
+        return folded
+
+    def merge_metric(self, theirs: Metric) -> None:
+        """Fold one foreign metric into this registry under its base name."""
+        if isinstance(theirs, RateSeries):
+            self.rate(theirs.name, window=theirs.window,
+                      partition="").merge(theirs)
+        elif isinstance(theirs, Gauge):
+            if theirs.value is not None:
+                self.gauge(theirs.name, partition="").set(theirs.value)
+        else:
+            mine = self._get(theirs.name, type(theirs), "")
+            mine.merge(theirs)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
 
     def names(self, prefix: str = "") -> List[str]:
-        """Registered metric names (optionally under a dotted prefix)."""
-        return sorted(name for name in self._metrics
-                      if name.startswith(prefix))
+        """Registered storage keys (optionally under a dotted prefix)."""
+        return sorted(key for key in self._metrics
+                      if key.startswith(prefix))
+
+    def partitions(self) -> List[str]:
+        """The distinct partition labels present, sorted ('' excluded)."""
+        return sorted({getattr(metric, "partition", "")
+                       for metric in self._metrics.values()} - {""})
 
     # -- exports -----------------------------------------------------------
 
     def snapshot(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
-        """Name -> value mapping, sorted by name, optionally filtered."""
-        return {name: self._metrics[name].snapshot()
-                for name in self.names(prefix)}
+        """Key -> value mapping, sorted by key, optionally filtered."""
+        return {key: self._metrics[key].snapshot()
+                for key in self.names(prefix)}
 
     def to_json(self, prefix: str = "") -> str:
         """A deterministic JSON rendering of :meth:`snapshot`."""
@@ -199,15 +364,19 @@ class MetricsRegistry:
         from repro.core.reporting import format_table
 
         rows = []
-        for name, snap in self.snapshot(prefix).items():
+        for key, snap in self.snapshot(prefix).items():
             if snap["type"] == "histogram":
-                value = "n=%d mean=%.4g min=%.4g max=%.4g" % (
-                    snap["count"], snap["mean"] or 0.0,
-                    snap["min"] or 0.0, snap["max"] or 0.0)
+                value = ("n=%d mean=%.4g p95=%.4g min=%.4g max=%.4g"
+                         % (snap["count"], snap["mean"] or 0.0,
+                            snap["p95"] or 0.0,
+                            snap["min"] or 0.0, snap["max"] or 0.0))
+            elif snap["type"] == "rate":
+                value = "total=%.6g rate=%.4g/s" % (snap["total"],
+                                                    snap["rate"])
             else:
                 value = "%.6g" % snap["value"] \
                     if snap["value"] is not None else "-"
-            rows.append([name, snap["type"], value])
+            rows.append([key, snap["type"], value])
         return format_table(["Metric", "Type", "Value"], rows, title=title)
 
     def __repr__(self) -> str:

@@ -1,0 +1,296 @@
+"""The flight recorder: periodic metric snapshots in a bounded ring.
+
+A :class:`FlightRecorder` rides an ordinary simulation as a sim-time
+heartbeat process: every ``interval`` simulated seconds it snapshots
+the :class:`~repro.obs.metrics.MetricsRegistry` — counter totals and
+per-interval deltas/rates, gauge levels, histogram counts and quantile
+bucket states — plus kernel vitals (events created, queue depth) into
+a ring of at most ``capacity`` entries.  Old entries fall off the
+front, so a million-event run costs the same memory as a thousand-event
+run: you always hold the *last* ``capacity`` heartbeats, which is what
+you want from a flight recorder.
+
+Determinism contract:
+
+* the heartbeat draws no randomness and never mutates model state, so
+  attaching a recorder cannot change any experiment artifact (the
+  heartbeat's queue entries shift event ids uniformly, which preserves
+  the relative order of all model events);
+* snapshots read only ``sim.now`` and registry state, and the JSONL
+  export sorts keys and uses Python's shortest-repr float encoding —
+  two same-seed runs write byte-identical files;
+* per-shard recorders (each watching a partition-keyed registry) fold
+  with :meth:`FlightRecorder.merge` to exactly the single-process
+  record, because counter deltas add and quantile bucket states add.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import QuantileHistogram
+
+__all__ = ["FlightEntry", "FlightRecorder"]
+
+
+class FlightEntry:
+    """One heartbeat snapshot (deltas are against the previous beat)."""
+
+    __slots__ = ("seq", "time", "events", "events_delta", "queue_depth",
+                 "counters", "gauges", "histograms", "rates")
+
+    def __init__(self, seq: int, time: float):
+        self.seq = seq
+        self.time = time
+        #: Kernel vitals (0 when the recorder excludes them).
+        self.events = 0
+        self.events_delta = 0
+        self.queue_depth = 0
+        #: key -> (total, delta)
+        self.counters: Dict[str, tuple] = {}
+        #: key -> level
+        self.gauges: Dict[str, float] = {}
+        #: key -> {"count", "delta", "min", "max", "buckets"}
+        self.histograms: Dict[str, Dict[str, object]] = {}
+        #: key -> (total, rate)
+        self.rates: Dict[str, tuple] = {}
+
+    def to_dict(self, interval: float) -> Dict[str, object]:
+        """The JSONL rendering: derived percentiles, no raw buckets."""
+        counters = {}
+        for key in sorted(self.counters):
+            total, delta = self.counters[key]
+            counters[key] = {"total": total, "delta": delta,
+                            "rate": delta / interval if interval else 0.0}
+        histograms = {}
+        for key in sorted(self.histograms):
+            state = self.histograms[key]
+            digest = QuantileHistogram.from_state(key, state)
+            histograms[key] = {
+                "count": state["count"],
+                "delta": state["delta"],
+                "min": state["min"],
+                "max": state["max"],
+                "p50": digest.quantile(0.5),
+                "p95": digest.quantile(0.95),
+                "p99": digest.quantile(0.99),
+            }
+        rates = {key: {"total": self.rates[key][0],
+                       "rate": self.rates[key][1]}
+                 for key in sorted(self.rates)}
+        return {
+            "seq": self.seq,
+            "t": self.time,
+            "events": self.events,
+            "events_delta": self.events_delta,
+            "queue_depth": self.queue_depth,
+            "counters": counters,
+            "gauges": {key: self.gauges[key] for key in sorted(self.gauges)},
+            "histograms": histograms,
+            "rates": rates,
+        }
+
+    def __repr__(self) -> str:
+        return "<FlightEntry #%d t=%.6g>" % (self.seq, self.time)
+
+
+class FlightRecorder:
+    """Bounded ring of periodic metric snapshots over one simulation."""
+
+    def __init__(self, sim, interval: float = 1.0, capacity: int = 512,
+                 registry: Optional[MetricsRegistry] = None,
+                 include_kernel: bool = True):
+        from repro.simulation.kernel import SimulationError
+
+        if interval <= 0:
+            raise SimulationError("recorder interval must be positive")
+        if capacity < 1:
+            raise SimulationError("recorder capacity must be >= 1")
+        self.sim = sim
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.registry = registry if registry is not None else sim.metrics
+        #: Per-shard recorders watching one partition's registry turn
+        #: kernel vitals off so that merging shards of one simulated
+        #: world does not multiply-count the shared kernel.
+        self.include_kernel = bool(include_kernel)
+        self.entries: Deque[FlightEntry] = deque(maxlen=self.capacity)
+        self.samples_taken = 0
+        self._proc = None
+        # Previous-beat cursors for delta computation.
+        self._prev_events = 0
+        self._prev_counters: Dict[str, float] = {}
+        self._prev_hist_counts: Dict[str, int] = {}
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> FlightEntry:
+        """Snapshot the registry now and append to the ring."""
+        sim = self.sim
+        entry = FlightEntry(self.samples_taken, sim.now)
+        self.samples_taken += 1
+        if self.include_kernel:
+            entry.events = sim._next_id
+            entry.events_delta = sim._next_id - self._prev_events
+            self._prev_events = sim._next_id
+            entry.queue_depth = len(sim._queue) + len(sim._immediate)
+        registry = self.registry
+        for key in registry.names():
+            metric = registry._metrics[key]
+            kind = metric.kind
+            if kind == "counter":
+                previous = self._prev_counters.get(key, 0.0)
+                entry.counters[key] = (metric.value,
+                                       metric.value - previous)
+                self._prev_counters[key] = metric.value
+            elif kind == "gauge":
+                if metric.value is not None:
+                    entry.gauges[key] = metric.value
+            elif kind == "histogram":
+                digest = metric.quantiles
+                state = digest.state()
+                previous = self._prev_hist_counts.get(key, 0)
+                state["delta"] = digest.count - previous
+                self._prev_hist_counts[key] = digest.count
+                entry.histograms[key] = state
+            elif kind == "rate":
+                entry.rates[key] = (metric.total, metric.rate(sim.now))
+        self.entries.append(entry)
+        return entry
+
+    def _heartbeat(self):
+        from repro.simulation.kernel import Interrupt
+
+        try:
+            while True:
+                yield self.sim.timeout(self.interval)
+                self.sample()
+        except Interrupt:
+            return  # recorder stopped; terminate cleanly
+
+    def start(self) -> None:
+        """Spawn the sim-time heartbeat process."""
+        from repro.simulation.kernel import SimulationError
+
+        if self._proc is not None:
+            raise SimulationError("flight recorder already started")
+        self._proc = self.sim.spawn(self._heartbeat(),
+                                    name="flight-recorder")
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the heartbeat (optionally taking one last snapshot)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="recorder-stop")
+        self._proc = None
+        if final_sample:
+            self.sample()
+
+    # -- merging -----------------------------------------------------------
+
+    @staticmethod
+    def merge(parts: List["FlightRecorder"]) -> "FlightRecorder":
+        """Fold per-shard recorders into the single-process record.
+
+        Parts must have heartbeat-aligned entries (same interval, same
+        sample times — the sharded engine drives every shard's recorder
+        off the same conservative time barrier).  Counter totals/deltas
+        and histogram bucket states add; kernel vitals add (disable
+        ``include_kernel`` on shards of one shared kernel); gauges and
+        rates union — per-shard registries key them by partition, so
+        the keys are disjoint.  Returns a detached recorder holding the
+        merged entries.
+        """
+        from repro.simulation.kernel import SimulationError
+
+        if not parts:
+            raise SimulationError("nothing to merge")
+        first = parts[0]
+        merged = FlightRecorder.__new__(FlightRecorder)
+        merged.sim = None
+        merged.interval = first.interval
+        merged.capacity = first.capacity
+        merged.registry = None
+        merged.include_kernel = first.include_kernel
+        merged.entries = deque(maxlen=first.capacity)
+        merged.samples_taken = first.samples_taken
+        merged._proc = None
+        merged._prev_events = 0
+        merged._prev_counters = {}
+        merged._prev_hist_counts = {}
+        for part in parts[1:]:
+            if part.interval != first.interval \
+                    or len(part.entries) != len(first.entries):
+                raise SimulationError(
+                    "flight records are not heartbeat-aligned")
+        for beats in zip(*(part.entries for part in parts)):
+            base = beats[0]
+            entry = FlightEntry(base.seq, base.time)
+            for beat in beats:
+                if beat.seq != base.seq or beat.time != base.time:
+                    raise SimulationError(
+                        "flight records are not heartbeat-aligned "
+                        "(beat %d at t=%g vs beat %d at t=%g)"
+                        % (base.seq, base.time, beat.seq, beat.time))
+                entry.events += beat.events
+                entry.events_delta += beat.events_delta
+                entry.queue_depth += beat.queue_depth
+                for key, (total, delta) in beat.counters.items():
+                    prev = entry.counters.get(key, (0.0, 0.0))
+                    entry.counters[key] = (prev[0] + total,
+                                           prev[1] + delta)
+                entry.gauges.update(beat.gauges)
+                for key, state in beat.histograms.items():
+                    mine = entry.histograms.get(key)
+                    if mine is None:
+                        merged_state = dict(state)
+                        merged_state["buckets"] = dict(state["buckets"])
+                        entry.histograms[key] = merged_state
+                    else:
+                        mine["count"] += state["count"]
+                        mine["delta"] += state["delta"]
+                        for bound, (a, b) in (("min", (mine["min"],
+                                                       state["min"])),
+                                              ("max", (mine["max"],
+                                                       state["max"]))):
+                            if a is None:
+                                mine[bound] = b
+                            elif b is not None:
+                                mine[bound] = (min(a, b) if bound == "min"
+                                               else max(a, b))
+                        buckets = mine["buckets"]
+                        for index, n in state["buckets"].items():
+                            buckets[index] = buckets.get(index, 0) + n
+                entry.rates.update(beat.rates)
+            merged.entries.append(entry)
+        return merged
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One sorted-key JSON object per heartbeat, newline-separated."""
+        lines = [json.dumps(entry.to_dict(self.interval), sort_keys=True,
+                            separators=(",", ":"))
+                 for entry in self.entries]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> int:
+        """Write the JSONL export; returns the number of entries."""
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+        return len(self.entries)
+
+    def last_histogram(self, key: str) -> Optional[QuantileHistogram]:
+        """The cumulative quantile digest of ``key`` at the last beat."""
+        if not self.entries:
+            return None
+        state = self.entries[-1].histograms.get(key)
+        if state is None:
+            return None
+        return QuantileHistogram.from_state(key, state)
+
+    def __repr__(self) -> str:
+        return "<FlightRecorder interval=%.6g entries=%d/%d>" % (
+            self.interval, len(self.entries), self.capacity)

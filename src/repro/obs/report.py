@@ -1,0 +1,174 @@
+"""Render a run's telemetry as a text or markdown report.
+
+``repro report <experiment>`` replays a scenario with a flight
+recorder attached and renders what an operator would want on one
+screen: throughput (kernel events/s and the last-window dispatch
+rates), latency percentiles for every histogram, host utilizations,
+SLA violation counts, and a per-partition rollup of the registry.
+
+Everything here is a pure function of the simulation's final state, so
+the rendered report inherits the run's byte-identity: same scenario +
+seed -> the same bytes, whatever machine or worker count produced the
+metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.reporting import format_table
+from repro.obs.metrics import Histogram, MetricsRegistry, storage_key
+
+__all__ = ["render_report"]
+
+#: Histogram columns shared by the text and markdown renderings.
+_LATENCY_HEADERS = ["Metric", "Count", "Mean(s)", "p50(s)", "p95(s)",
+                    "p99(s)", "Max(s)"]
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "%.4g" % value if value is not None else "-"
+
+
+def _latency_rows(registry: MetricsRegistry) -> List[List[str]]:
+    rows = []
+    for key in registry.names():
+        metric = registry._metrics[key]
+        if not isinstance(metric, Histogram):
+            continue
+        rows.append([key, str(metric.count), _fmt(metric.acc.mean),
+                     _fmt(metric.quantile(0.5)),
+                     _fmt(metric.quantile(0.95)),
+                     _fmt(metric.quantile(0.99)),
+                     _fmt(metric.acc.maximum)])
+    return rows
+
+
+def _utilization_rows(grid, horizon: float) -> List[List[str]]:
+    rows = []
+    partition_of = getattr(grid, "partition_of", lambda name: "")
+    for name, machine in sorted(grid._machines.items()):
+        cpu = machine.cpu
+        busy = cpu.utilization.time_average(end=horizon) \
+            if len(cpu.utilization) else 0.0
+        queue = cpu.run_queue.time_average(end=horizon) \
+            if len(cpu.run_queue) else 0.0
+        rows.append([name, partition_of(name), "%.1f%%" % (100.0 * busy),
+                     "%.2f" % queue])
+    return rows
+
+
+def _sla_rows(registry: MetricsRegistry) -> List[List[str]]:
+    rows = []
+    folded = registry.aggregate()
+    for key in folded.names():
+        metric = folded._metrics[key]
+        if metric.kind == "counter" and ".violations" in key:
+            rows.append([key, "%d" % metric.value])
+    return rows
+
+
+def _partition_rows(registry: MetricsRegistry) -> List[List[str]]:
+    """Per-partition rollup: sessions, queue waits, violations."""
+    rows = []
+    for partition in registry.partitions():
+        def get(name, kind):
+            metric = registry._metrics.get(storage_key(name, partition))
+            return metric if metric is not None \
+                and metric.kind == kind else None
+
+        sessions = get("session.established", "counter")
+        wait = get("sched.queue_wait", "histogram")
+        start = get("sla.session_start.latency", "histogram")
+        violations = 0.0
+        for name in ("sla.session_start.violations",
+                     "sla.queue_wait.violations"):
+            counter = get(name, "counter")
+            if counter is not None:
+                violations += counter.value
+        rows.append([
+            partition,
+            "%d" % sessions.value if sessions is not None else "0",
+            _fmt(start.quantile(0.95)) if start is not None else "-",
+            _fmt(wait.quantile(0.95)) if wait is not None else "-",
+            "%d" % violations,
+        ])
+    return rows
+
+
+def render_report(sim, grid=None, recorder=None, title: str = "Run report",
+                  fmt: str = "text") -> str:
+    """The full report; ``fmt`` is ``"text"`` or ``"markdown"``."""
+    if fmt not in ("text", "markdown"):
+        raise ValueError("fmt must be 'text' or 'markdown'")
+    registry = sim.metrics
+    sections = []
+
+    # Throughput: kernel totals, plus recorder-derived steady rate.
+    elapsed = sim.now
+    rows = [["simulated seconds", "%.4g" % elapsed],
+            ["kernel events", "%d" % sim._next_id],
+            ["events/s (overall)",
+             "%.4g" % (sim._next_id / elapsed) if elapsed else "-"]]
+    if recorder is not None and recorder.entries:
+        last = recorder.entries[-1]
+        rows.append(["events/s (last interval)",
+                     "%.4g" % (last.events_delta / recorder.interval)])
+        rows.append(["heartbeats recorded",
+                     "%d (of %d taken)" % (len(recorder.entries),
+                                           recorder.samples_taken)])
+    for key in registry.names():
+        metric = registry._metrics[key]
+        if metric.kind == "rate":
+            rows.append(["%s (last %gs window)" % (key, metric.window),
+                         "%.4g/s" % metric.rate(sim.now)])
+    sections.append(("Throughput", ["Quantity", "Value"], rows))
+
+    # Latency percentiles for every histogram in the registry.
+    lat = _latency_rows(registry)
+    if lat:
+        sections.append(("Latency percentiles", _LATENCY_HEADERS, lat))
+
+    # Utilization per machine (when a grid is available).
+    if grid is not None and getattr(grid, "_machines", None):
+        sections.append(("Utilization",
+                         ["Host", "Partition", "CPU busy", "Run queue"],
+                         _utilization_rows(grid, sim.now)))
+
+    # SLA violation counters (aggregated over partitions).
+    sla = _sla_rows(registry)
+    if sla:
+        sections.append(("SLA violations", ["Counter", "Total"], sla))
+
+    # Per-partition rollup.
+    partitions = _partition_rows(registry)
+    if partitions:
+        sections.append(("Per-partition",
+                         ["Partition", "Sessions", "Start p95(s)",
+                          "Queue wait p95(s)", "SLA violations"],
+                         partitions))
+
+    if fmt == "markdown":
+        return _render_markdown(title, sections)
+    return _render_text(title, sections)
+
+
+def _render_text(title: str, sections) -> str:
+    out = [title, "=" * len(title)]
+    for name, headers, rows in sections:
+        out.append("")
+        out.append(format_table(headers, rows, title=name))
+    return "\n".join(out) + "\n"
+
+
+def _render_markdown(title: str, sections) -> str:
+    out = ["# %s" % title]
+    for name, headers, rows in sections:
+        out.append("")
+        out.append("## %s" % name)
+        out.append("")
+        out.append("| " + " | ".join(headers) + " |")
+        out.append("|" + "|".join(" --- " for _ in headers) + "|")
+        for row in rows:
+            out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out) + "\n"

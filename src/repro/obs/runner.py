@@ -27,7 +27,7 @@ from repro.obs.tracer import TraceRecorder, Tracer
 from repro.simulation.kernel import Simulation, SimulationError
 
 __all__ = ["SCENARIOS", "build_scenario", "run_scenario",
-           "trace_experiment"]
+           "trace_experiment", "record_experiment"]
 
 #: Experiment artifacts with a traced scenario equivalent.
 SCENARIOS = ("figure1", "table1", "table2")
@@ -108,15 +108,26 @@ def build_scenario(name: str, sim: Simulation, seed: int = 0):
 
 
 def run_scenario(name: str, seed: int = 0,
-                 tracer: Optional[Tracer] = None) -> Simulation:
+                 tracer: Optional[Tracer] = None,
+                 recorder_interval: Optional[float] = None,
+                 recorder_capacity: int = 512):
     """Drive one traced session life cycle; returns the Simulation.
 
     The run covers all six steps of Section 4's life cycle: establish
     (steps 1-5), application execution (step 6), a user-data sync and
-    an orderly shutdown.
+    an orderly shutdown.  With ``recorder_interval`` set, a
+    :class:`~repro.obs.recorder.FlightRecorder` heartbeats alongside
+    the run and the return value becomes ``(sim, grid, recorder)``.
     """
     sim = Simulation(seed=seed, tracer=tracer)
     grid, config, app = build_scenario(name, sim, seed=seed)
+    recorder = None
+    if recorder_interval is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder(sim, interval=recorder_interval,
+                                  capacity=recorder_capacity)
+        recorder.start()
     # Partition-aware tracers (the shard-affinity sanitizer) learn the
     # host -> partition map once the topology exists; duck-typed so the
     # runner needs no analysis imports.
@@ -131,6 +142,9 @@ def run_scenario(name: str, seed: int = 0,
         yield from session.shutdown()
 
     grid.run(drive(sim), name="scenario.%s" % name)
+    if recorder is not None:
+        recorder.stop()
+        return sim, grid, recorder
     return sim
 
 
@@ -144,3 +158,16 @@ def trace_experiment(name: str, out_path: str,
     sim = run_scenario(name, seed=seed, tracer=recorder)
     count = export_chrome_trace(recorder, out_path)
     return sim, count
+
+
+def record_experiment(name: str, interval: float = 1.0, seed: int = 0,
+                      capacity: int = 512):
+    """Replay a scenario with a flight recorder heartbeating alongside.
+
+    Returns ``(sim, grid, recorder)``.  Attaching the recorder cannot
+    change the run: the heartbeat draws no randomness and mutates no
+    model state, so every experiment artifact stays byte-identical to
+    the unrecorded run.
+    """
+    return run_scenario(name, seed=seed, recorder_interval=interval,
+                        recorder_capacity=capacity)

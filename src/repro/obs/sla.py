@@ -1,0 +1,45 @@
+"""Service-level objectives for grid sessions.
+
+"Utility Computing and Global Grids" frames SLA violation rates and
+wait-time distributions as *the* figures of merit for utility grids;
+this module gives the simulated middleware a policy object to measure
+against.  The thresholds are simulated seconds; components record a
+latency histogram unconditionally and bump a ``*.violations`` counter
+whenever an observation exceeds its threshold, so ``repro metrics``
+and the flight recorder expose both the distribution and the SLA
+surface without any extra bookkeeping at query time.
+
+Metric names:
+
+* ``sla.session_start.latency`` / ``sla.session_start.violations`` —
+  full six-step establish latency (:mod:`repro.middleware.session`);
+* ``sched.queue_wait`` / ``sla.queue_wait.violations`` — GRAM
+  submission-to-start wait (:mod:`repro.middleware.gram`).
+
+This module must stay importable from anywhere in the stack, so it
+depends on nothing but the standard library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlaPolicy", "DEFAULT_SLA"]
+
+
+@dataclass(frozen=True)
+class SlaPolicy:
+    """Latency objectives, in simulated seconds."""
+
+    #: Six-step session establishment (user asks -> VM usable).
+    session_start_seconds: float = 120.0
+    #: GRAM dispatch wait (globusrun submission -> job body starts).
+    queue_wait_seconds: float = 30.0
+
+    def __post_init__(self):
+        if min(self.session_start_seconds, self.queue_wait_seconds) <= 0:
+            raise ValueError("SLA thresholds must be positive")
+
+
+#: The policy used when a grid/component is not handed one explicitly.
+DEFAULT_SLA = SlaPolicy()

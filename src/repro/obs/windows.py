@@ -1,0 +1,297 @@
+"""Bounded-memory streaming collectors: quantiles and rates.
+
+Two collectors complement :mod:`repro.simulation.monitor`'s windowed
+:class:`TimeSeriesMonitor`:
+
+* :class:`QuantileHistogram` — a mergeable histogram over *fixed*
+  logarithmic bucket boundaries.  Unlike randomized sketches (t-digest,
+  KLL), the bucket an observation lands in is a pure function of its
+  value, so two same-seed runs — and any fold order of per-shard parts
+  — produce byte-identical snapshots.  Quantiles are exact to within
+  the bucket resolution (``1/subbuckets`` relative width per bucket).
+* :class:`RateSeries` — a windowed event-rate series derived from a
+  cumulative total (events/s, sessions/s), backed by a windowed
+  :class:`TimeSeriesMonitor` so memory stays bounded at any event
+  count.
+
+Both are consumed by the :class:`~repro.obs.metrics.MetricsRegistry`
+(histograms carry a quantile digest; ``registry.rate`` creates rate
+series) and by the flight recorder (:mod:`repro.obs.recorder`), whose
+byte-identity contract rests on the determinism above.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["QuantileHistogram", "RateSeries"]
+
+#: Linear sub-buckets per power-of-two octave.  16 gives every bucket a
+#: relative width of at most 1/16 = 6.25%, so a reported quantile is
+#: within ~3.2% of the true sample (midpoint representative).
+SUBBUCKETS = 16
+
+#: Exponent bias keeping positive-value indices positive.  ``frexp`` of
+#: the smallest subnormal float yields exponent -1073, so adding 1100
+#: makes every biased exponent positive and leaves the sign of the
+#: index free to encode the sign of the value.
+EXPONENT_BIAS = 1100
+
+
+def bucket_index(value: float) -> int:
+    """The (signed) fixed-boundary bucket holding ``value``.
+
+    Positive values map to ``octave * SUBBUCKETS + sub + 1`` via
+    ``math.frexp`` (no libm log, so the boundary decision is exact);
+    negative values mirror to the negated index; zero is bucket 0.
+    The mapping is a pure function of the value — observation order,
+    merge order and process identity cannot change it.
+    """
+    if value == 0.0:
+        return 0
+    magnitude = abs(value)
+    mantissa, exponent = math.frexp(magnitude)   # magnitude = m * 2**e
+    sub = int((mantissa - 0.5) * 2.0 * SUBBUCKETS)
+    if sub == SUBBUCKETS:  # mantissa rounded up to 1.0 (inf guard)
+        sub = SUBBUCKETS - 1
+    index = (exponent + EXPONENT_BIAS) * SUBBUCKETS + sub + 1
+    return index if value > 0 else -index
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The [low, high) value range of a signed bucket index."""
+    if index == 0:
+        return (0.0, 0.0)
+    magnitude = abs(index) - 1
+    exponent, sub = divmod(magnitude, SUBBUCKETS)
+    exponent -= EXPONENT_BIAS
+    low = math.ldexp(1.0 + sub / SUBBUCKETS, exponent - 1)
+    high = math.ldexp(1.0 + (sub + 1) / SUBBUCKETS, exponent - 1)
+    if index > 0:
+        return (low, high)
+    return (-high, -low)
+
+
+def bucket_midpoint(index: int) -> float:
+    """The representative value reported for a bucket."""
+    low, high = bucket_bounds(index)
+    return (low + high) / 2.0
+
+
+class QuantileHistogram:
+    """Deterministic mergeable quantiles over log-spaced buckets.
+
+    Stores one integer count per occupied bucket plus exact count, min
+    and max.  Memory is bounded by the number of *distinct occupied
+    buckets* (a few dozen for any realistic latency distribution),
+    never by the observation count.  ``merge`` adds bucket counts, so
+    folding per-shard parts in any order reproduces the single-process
+    histogram bit for bit.
+    """
+
+    __slots__ = ("name", "count", "minimum", "maximum", "_buckets")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        index = bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileHistogram") -> "QuantileHistogram":
+        """Fold another histogram's buckets into this one, in place.
+
+        Bucket counts add and min/max combine — both associative and
+        commutative — so the result is independent of fold order and
+        identical to observing both sample sets in one histogram.
+        Returns ``self`` for chaining.
+        """
+        self.count += other.count
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+        buckets = self._buckets
+        for index, n in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        return self
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (nearest-rank over buckets), or None if empty.
+
+        Walks buckets in ascending value order — ``sorted`` over the
+        signed indices, so the answer does not depend on insertion or
+        merge order — and returns the midpoint of the bucket holding
+        the nearest-rank sample, clamped into [min, max].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile fraction must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                mid = bucket_midpoint(index)
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - rank <= count always hits
+
+    def quantiles(self, fractions: Iterable[float]) -> List[Optional[float]]:
+        """Several quantiles in one call."""
+        return [self.quantile(q) for q in fractions]
+
+    @property
+    def bucket_mean(self) -> float:
+        """Bucket-resolution mean (0.0 when empty).
+
+        Computed from midpoints in sorted bucket order, so — unlike a
+        streamed exact mean — it is invariant under merge fold order.
+        """
+        if self.count == 0:
+            return 0.0
+        total = 0.0
+        for index in sorted(self._buckets):
+            total += bucket_midpoint(index) * self._buckets[index]
+        return total / self.count
+
+    def state(self) -> Dict[str, object]:
+        """The full mergeable state (used by the flight recorder)."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": dict(self._buckets),
+        }
+
+    @classmethod
+    def from_state(cls, name: str,
+                   state: Dict[str, object]) -> "QuantileHistogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        hist = cls(name)
+        hist.count = int(state["count"])
+        hist.minimum = state["min"]
+        hist.maximum = state["max"]
+        hist._buckets = {int(k): int(v)
+                         for k, v in state["buckets"].items()}
+        return hist
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return "<QuantileHistogram %s n=%d buckets=%d>" % (
+            self.name, self.count, len(self._buckets))
+
+
+class RateSeries:
+    """A windowed event-rate series derived from a cumulative total.
+
+    ``mark(time)`` counts occurrences; :meth:`rate` reports the mean
+    rate over the trailing ``window`` simulated seconds.  The cumulative
+    totals are held in a windowed :class:`TimeSeriesMonitor`, so memory
+    is bounded by the marks falling inside one window regardless of how
+    many events the run produces.
+    """
+
+    __slots__ = ("name", "partition", "window", "total", "monitor")
+
+    kind = "rate"
+
+    def __init__(self, name: str = "", window: float = 60.0,
+                 max_samples: Optional[int] = 4096):
+        # Deferred import: repro.obs is imported by the simulation
+        # kernel module itself, so module-level imports back into
+        # repro.simulation would re-enter a partially initialized
+        # package (same pattern as Histogram in repro.obs.metrics).
+        from repro.simulation.monitor import TimeSeriesMonitor
+
+        if window <= 0:
+            raise ValueError("rate window must be positive")
+        self.name = name
+        self.partition = ""
+        self.window = float(window)
+        self.total = 0.0
+        self.monitor = TimeSeriesMonitor(name, window=window,
+                                         max_samples=max_samples)
+
+    def mark(self, time: float, amount: float = 1.0) -> None:
+        """Count ``amount`` occurrences at simulated ``time``."""
+        self.total += amount
+        self.monitor.record(time, self.total)
+
+    def rate(self, at: Optional[float] = None) -> float:
+        """Mean occurrences per second over the trailing window."""
+        monitor = self.monitor
+        if not monitor.times:
+            return 0.0
+        if at is None:
+            at = monitor.times[-1]
+        start = at - self.window
+        earlier = monitor.value_at(start)
+        if earlier is None:
+            earlier = 0.0
+        later = monitor.value_at(at)
+        if later is None:
+            return 0.0
+        return (later - earlier) / self.window
+
+    def merge(self, other: "RateSeries") -> "RateSeries":
+        """Fold a *later, disjoint* part's marks onto this series.
+
+        Rates partition by time exactly like the underlying monitor;
+        per-shard rate series are expected to be partition-keyed
+        (disjoint registry keys), so a same-key merge only supports
+        the sequential-span case.  Returns ``self``.
+        """
+        if other.total == 0.0 and not other.monitor.times:
+            return self
+        if self.total == 0.0 and not self.monitor.times:
+            self.total = other.total
+            self.monitor.merge(other.monitor)
+            return self
+        # Sequential spans: rebase the other part's cumulative totals
+        # on top of ours, preserving the monitor's overlap check.
+        from repro.simulation.monitor import TimeSeriesMonitor
+
+        base = self.total
+        rebased = TimeSeriesMonitor(other.name, window=other.window)
+        for t, v in zip(other.monitor.times, other.monitor.values):
+            rebased.record(t, v + base)
+        self.monitor.merge(rebased)
+        self.total = base + other.total
+        return self
+
+    def snapshot(self) -> Dict[str, object]:
+        snap: Dict[str, object] = {
+            "type": self.kind,
+            "total": self.total,
+            "rate": self.rate(),
+            "window": self.window,
+        }
+        if self.partition:
+            snap["partition"] = self.partition
+        return snap
+
+    def __repr__(self) -> str:
+        return "<RateSeries %s total=%.6g rate=%.6g/s>" % (
+            self.name, self.total, self.rate())

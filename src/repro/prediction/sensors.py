@@ -22,17 +22,29 @@ __all__ = ["HostLoadSensor", "BandwidthSensor"]
 class HostLoadSensor:
     """Periodic sampling of a CPU's load (or one VM group's share)."""
 
+    #: Default retention: enough history for any predictor fit, but a
+    #: hard bound — a week-long steady-state run no longer grows a
+    #: per-sample list without limit.
+    MAX_SAMPLES = 4096
+
     def __init__(self, cpu: ProcessorSharingCpu, period: float = 1.0,
-                 group: Optional[TaskGroup] = None):
+                 group: Optional[TaskGroup] = None,
+                 max_samples: Optional[int] = None):
         if period <= 0:
             raise SimulationError("period must be positive")
         self.sim = cpu.sim
         self.cpu = cpu
         self.period = float(period)
         self.group = group
-        self.series: List[float] = []
-        self.monitor = TimeSeriesMonitor("hostload-sensor")
+        self.monitor = TimeSeriesMonitor(
+            "hostload-sensor",
+            max_samples=max_samples or self.MAX_SAMPLES)
         self._proc: Optional[Process] = None
+
+    @property
+    def series(self) -> List[float]:
+        """The retained sample values, oldest first."""
+        return self.monitor.values
 
     def _sample(self) -> float:
         if self.group is None:
@@ -63,18 +75,16 @@ class HostLoadSensor:
         try:
             while True:
                 yield self.sim.timeout(self.period)
-                value = self._sample()
-                self.series.append(value)
-                self.monitor.record(self.sim.now, value)
+                self.monitor.record(self.sim.now, self._sample())
         except Interrupt:
             return
 
     def __len__(self) -> int:
-        return len(self.series)
+        return len(self.monitor)
 
     def __repr__(self) -> str:
         return "<HostLoadSensor %s n=%d>" % (self.cpu.name,
-                                             len(self.series))
+                                             len(self.monitor))
 
 
 class BandwidthSensor:
@@ -84,7 +94,11 @@ class BandwidthSensor:
     bulk transfer forecasts the path's availability first.
     """
 
-    def __init__(self, engine, src: str, dst: str, period: float = 5.0):
+    #: Same retention bound as :class:`HostLoadSensor`.
+    MAX_SAMPLES = 4096
+
+    def __init__(self, engine, src: str, dst: str, period: float = 5.0,
+                 max_samples: Optional[int] = None):
         if period <= 0:
             raise SimulationError("period must be positive")
         self.sim = engine.sim
@@ -92,11 +106,17 @@ class BandwidthSensor:
         self.src = src
         self.dst = dst
         self.period = float(period)
-        self.series: List[float] = []
-        self.monitor = TimeSeriesMonitor("bandwidth-sensor")
+        self.monitor = TimeSeriesMonitor(
+            "bandwidth-sensor",
+            max_samples=max_samples or self.MAX_SAMPLES)
         self._proc: Optional[Process] = None
         # Validate the path exists up front.
         engine.network.path_links(src, dst)
+
+    @property
+    def series(self) -> List[float]:
+        """The retained sample values, oldest first."""
+        return self.monitor.values
 
     def start(self) -> None:
         """Begin streaming samples every ``period`` seconds."""
@@ -114,15 +134,15 @@ class BandwidthSensor:
         try:
             while True:
                 yield self.sim.timeout(self.period)
-                value = self.engine.available_bandwidth(self.src, self.dst)
-                self.series.append(value)
-                self.monitor.record(self.sim.now, value)
+                self.monitor.record(
+                    self.sim.now,
+                    self.engine.available_bandwidth(self.src, self.dst))
         except Interrupt:
             return
 
     def __len__(self) -> int:
-        return len(self.series)
+        return len(self.monitor)
 
     def __repr__(self) -> str:
         return "<BandwidthSensor %s->%s n=%d>" % (self.src, self.dst,
-                                                  len(self.series))
+                                                  len(self.monitor))

@@ -39,7 +39,8 @@ class InteractivePolicyDaemon:
         self.constraints = constraints
         self.poll_interval = float(poll_interval)
         self.transitions = 0
-        self.cap_in_force = TimeSeriesMonitor("policy.cap")
+        self.cap_in_force = TimeSeriesMonitor("policy.cap",
+                                              window=3600.0)
         self._interactive: Optional[bool] = None
         self._proc: Optional[Process] = None
 

@@ -159,24 +159,94 @@ class TimeSeriesMonitor:
     Samples represent the value of a quantity *from* the sample time until
     the next sample (a right-continuous step function), which is the
     natural shape for utilizations, levels and queue lengths.
+
+    By default every sample is retained.  Passing ``window`` (simulated
+    seconds) and/or ``max_samples`` bounds memory: old samples are
+    evicted as new ones arrive, but their time-weighted integral is
+    carried forward, so :meth:`time_average` over the full series stays
+    *exact* across evictions — only point queries (:meth:`value_at`,
+    :meth:`samples_between`) lose access to the evicted region.  The
+    sample governing the start of the retention window is always kept,
+    so window queries ``time_average(now - window, now)`` remain exact
+    too.  Passing ``window=None`` explicitly declares an intentionally
+    unbounded series (simlint rule R20 flags constructions that make no
+    choice at all in model code).
     """
 
-    __slots__ = ("name", "times", "values")
+    __slots__ = ("name", "times", "values", "window", "max_samples",
+                 "_dropped_integral", "_dropped_count", "_origin_time")
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", window: Optional[float] = None,
+                 max_samples: Optional[int] = None):
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None)")
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1 (or None)")
         self.name = name
+        self.window = window
+        self.max_samples = max_samples
         self.times: List[float] = []
         self.values: List[float] = []
+        #: Time-weighted integral of the evicted prefix, covering
+        #: [origin_time, times[0]].  Accumulated one segment at a time
+        #: in time order — the same float-addition chain a full
+        #: in-order sweep would perform — so full-range averages are
+        #: bit-identical to the unbounded series.
+        self._dropped_integral = 0.0
+        self._dropped_count = 0
+        self._origin_time: Optional[float] = None
 
     def record(self, time: float, value: float) -> None:
         """Append a sample; times must be non-decreasing."""
         if self.times and time < self.times[-1]:
             raise ValueError("samples must be recorded in time order")
+        if self._origin_time is None:
+            self._origin_time = float(time)
         self.times.append(float(time))
         self.values.append(float(value))
+        if self.window is not None or self.max_samples is not None:
+            self._trim()
+
+    def _trim(self) -> None:
+        """Evict the prefix outside the retention policy, keeping the
+        boundary sample that governs the window start."""
+        times = self.times
+        values = self.values
+        n = len(times)
+        k = 0
+        if self.window is not None:
+            horizon = times[-1] - self.window
+            while k + 1 < n and times[k + 1] <= horizon:
+                self._dropped_integral += values[k] * (times[k + 1]
+                                                       - times[k])
+                k += 1
+        if self.max_samples is not None:
+            while n - k > self.max_samples:
+                self._dropped_integral += values[k] * (times[k + 1]
+                                                       - times[k])
+                k += 1
+        if k:
+            del times[:k]
+            del values[:k]
+            self._dropped_count += k
 
     def __len__(self) -> int:
         return len(self.times)
+
+    @property
+    def total_count(self) -> int:
+        """Samples ever recorded, including evicted ones."""
+        return len(self.times) + self._dropped_count
+
+    @property
+    def dropped_count(self) -> int:
+        """Samples evicted under the retention policy."""
+        return self._dropped_count
+
+    @property
+    def origin_time(self) -> Optional[float]:
+        """Time of the first sample ever recorded (survives eviction)."""
+        return self._origin_time
 
     @property
     def last_value(self) -> Optional[float]:
@@ -199,16 +269,37 @@ class TimeSeriesMonitor:
 
     def time_average(self, start: Optional[float] = None,
                      end: Optional[float] = None) -> float:
-        """Time-weighted mean of the step function over [start, end]."""
+        """Time-weighted mean of the step function over [start, end].
+
+        Exact even after window evictions, as long as the queried range
+        does not *begin inside* the evicted region: full-range averages
+        (``start=None`` or ``start <= origin_time``) use the carried
+        integral of the evicted prefix, and window queries starting at
+        or after the retained boundary sample use the live samples.  A
+        start strictly inside the evicted region raises ``ValueError``
+        rather than silently approximating.
+        """
         if len(self.times) == 0:
             return 0.0
         if start is None:
-            start = self.times[0]
+            start = self._origin_time
         if end is None:
             end = self.times[-1]
         if end <= start:
             return self.value_at(start) or 0.0
         total = 0.0
+        if self._dropped_count:
+            if start <= self._origin_time:
+                if end <= self.times[0]:
+                    raise ValueError(
+                        "%s: [%g, %g] ends inside the evicted region"
+                        % (self.name or "monitor", start, end))
+                total = self._dropped_integral
+            elif start < self.times[0]:
+                raise ValueError(
+                    "%s: start %g falls inside the evicted region "
+                    "(retained history begins at %g)"
+                    % (self.name or "monitor", start, self.times[0]))
         for i, t in enumerate(self.times):
             seg_start = max(t, start)
             seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
@@ -217,8 +308,9 @@ class TimeSeriesMonitor:
                 total += self.values[i] * (seg_end - seg_start)
         return total / (end - start)
 
-    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
-        """The (time, value) samples falling inside [start, end]."""
+    def samples_between(self, start: float,
+                        end: float) -> List[Tuple[float, float]]:
+        """The retained (time, value) samples falling inside [start, end]."""
         return [(t, v) for t, v in zip(self.times, self.values)
                 if start <= t <= end]
 
@@ -229,18 +321,39 @@ class TimeSeriesMonitor:
         handing back its span of a series must start at or after this
         one's last sample, mirroring the ``record`` ordering rule.
         Overlapping series raise rather than interleave silently.
-        Returns ``self`` for chaining.
+
+        A part that has itself already evicted samples can only be
+        merged into an *empty* monitor (its carried integral is only
+        meaningful from its own origin), in which case the full
+        retention state transfers.  Merging into a windowed monitor
+        re-applies the retention policy afterwards.  Returns ``self``
+        for chaining.
         """
         if _merge_audit is not None:
             _merge_audit(self, other)
-        if other.times:
+        if other._dropped_count:
+            if self.times or self._dropped_count:
+                raise ValueError(
+                    "cannot merge %s, which has already evicted samples, "
+                    "into a non-empty monitor" % (other.name or "part"))
+            self._origin_time = other._origin_time
+            self._dropped_integral = other._dropped_integral
+            self._dropped_count = other._dropped_count
+            self.times.extend(other.times)
+            self.values.extend(other.values)
+        elif other.times:
             if self.times and other.times[0] < self.times[-1]:
                 raise ValueError(
                     "cannot merge overlapping time series: %s restarts "
                     "at %g before %g" % (other.name or "part",
                                          other.times[0], self.times[-1]))
+            if self._origin_time is None:
+                self._origin_time = other._origin_time
             self.times.extend(other.times)
             self.values.extend(other.values)
+        if self.times and (self.window is not None
+                           or self.max_samples is not None):
+            self._trim()
         return self
 
     def __repr__(self) -> str:

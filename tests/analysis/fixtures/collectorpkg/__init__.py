@@ -1,0 +1,5 @@
+"""Fixture package for simlint rule R20 (unbounded-collector).
+
+Each module exercises one path: ``leaky`` fires, ``bounded`` and
+``declared`` stay clean, ``suppressed`` documents the opt-out.
+"""

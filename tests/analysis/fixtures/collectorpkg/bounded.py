@@ -1,0 +1,10 @@
+"""Collectors with an explicit retention bound (clean)."""
+
+from repro.simulation.monitor import TimeSeriesMonitor
+
+
+class BoundedProbe:
+    def __init__(self, name):
+        self.utilization = TimeSeriesMonitor(name + ".util", window=3600.0)
+        self.samples = TimeSeriesMonitor(name + ".samples",
+                                         max_samples=4096)

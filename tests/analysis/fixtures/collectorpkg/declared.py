@@ -1,0 +1,12 @@
+"""An explicitly declared unbounded series (clean).
+
+``window=None`` states that the full history is wanted — e.g. a
+collector whose every sample feeds a final artifact — which is a
+retention *choice*, not an oversight.
+"""
+
+from repro.simulation.monitor import TimeSeriesMonitor
+
+
+def full_history_trace():
+    return TimeSeriesMonitor("artifact-series", window=None)

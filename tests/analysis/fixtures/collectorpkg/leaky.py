@@ -1,0 +1,12 @@
+"""Collectors that never choose a retention bound (R20 fires)."""
+
+from repro.simulation.monitor import TimeSeriesMonitor
+
+
+class LeakyProbe:
+    def __init__(self, name):
+        self.utilization = TimeSeriesMonitor(name + ".util")
+
+
+def make_trace():
+    return TimeSeriesMonitor("trace")

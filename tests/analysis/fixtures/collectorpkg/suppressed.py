@@ -1,0 +1,7 @@
+"""The suppression path: an audited exception with a justification."""
+
+from repro.simulation.monitor import TimeSeriesMonitor
+
+
+def audit_series():
+    return TimeSeriesMonitor("audit")  # simlint: disable=R20  short-lived calibration run

@@ -1,0 +1,87 @@
+"""Rule R20 (unbounded-collector): inline snippets and the fixture
+package golden — the exact findings over ``fixtures/collectorpkg``."""
+
+import os
+
+from repro.analysis import analyze_paths, analyze_source
+
+FIXTURE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "fixtures", "collectorpkg")
+
+
+def codes(source):
+    return [f.code for f in analyze_source(source)]
+
+
+# -- inline snippets ---------------------------------------------------------
+
+def test_r20_bare_construction_fires():
+    assert "R20" in codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "mon = TimeSeriesMonitor('util')\n")
+
+
+def test_r20_attribute_construction_fires():
+    assert "R20" in codes(
+        "import repro.simulation.monitor as monitor\n"
+        "mon = monitor.TimeSeriesMonitor('util')\n")
+
+
+def test_r20_window_kwarg_clean():
+    assert codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "mon = TimeSeriesMonitor('util', window=3600.0)\n") == []
+
+
+def test_r20_max_samples_kwarg_clean():
+    assert codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "mon = TimeSeriesMonitor('util', max_samples=4096)\n") == []
+
+
+def test_r20_explicit_none_window_is_a_choice():
+    assert codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "mon = TimeSeriesMonitor('util', window=None)\n") == []
+
+
+def test_r20_kwargs_splat_gets_benefit_of_doubt():
+    assert codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "def make(**opts):\n"
+        "    return TimeSeriesMonitor('util', **opts)\n") == []
+
+
+def test_r20_unrelated_call_clean():
+    assert codes("x = make_monitor('util')\n") == []
+
+
+def test_r20_suppression():
+    assert codes(
+        "from repro.simulation.monitor import TimeSeriesMonitor\n"
+        "mon = TimeSeriesMonitor('u')  "
+        "# simlint: disable=R20  calibration\n") == []
+
+
+# -- fixture-package golden --------------------------------------------------
+
+def test_collectorpkg_golden():
+    findings = [f for f in analyze_paths([FIXTURE]) if f.code == "R20"]
+    golden = [(os.path.relpath(f.path, FIXTURE), f.line) for f in findings]
+    # Exactly the two constructions in leaky.py — bounded, declared and
+    # suppressed modules contribute nothing.
+    assert golden == [("leaky.py", 8), ("leaky.py", 12)]
+
+
+def test_collectorpkg_messages_name_the_fix():
+    findings = [f for f in analyze_paths([FIXTURE]) if f.code == "R20"]
+    for finding in findings:
+        assert "window=" in finding.message
+        assert "max_samples=" in finding.message
+
+
+def test_repro_package_is_r20_clean():
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "src", "repro")
+    findings = [f for f in analyze_paths([src]) if f.code == "R20"]
+    assert findings == []

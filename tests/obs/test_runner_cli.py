@@ -35,7 +35,9 @@ def test_metrics_command_prints_table(capsys):
 def test_metrics_command_json(capsys):
     assert main(["metrics", "figure1", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["session.step6.duration"]["count"] == 1
+    # Session metrics are keyed by the compute host's partition.
+    assert payload["session.step6.duration[uf]"]["count"] == 1
+    assert "p95" in payload["session.step6.duration[uf]"]
 
 
 def test_trace_requires_target(capsys):

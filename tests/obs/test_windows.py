@@ -1,0 +1,306 @@
+"""Bounded-memory collectors: quantile buckets, rates, windowed monitors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.windows import (QuantileHistogram, RateSeries, SUBBUCKETS,
+                               bucket_bounds, bucket_index,
+                               bucket_midpoint)
+from repro.simulation.monitor import TimeSeriesMonitor
+
+
+# -- bucket geometry ---------------------------------------------------------
+
+def test_zero_gets_its_own_bucket():
+    assert bucket_index(0.0) == 0
+    assert bucket_bounds(0) == (0.0, 0.0)
+    assert bucket_midpoint(0) == 0.0
+
+
+def test_sign_symmetry():
+    assert bucket_index(-3.7) == -bucket_index(3.7)
+    lo, hi = bucket_bounds(bucket_index(3.7))
+    nlo, nhi = bucket_bounds(bucket_index(-3.7))
+    assert (nlo, nhi) == (-hi, -lo)
+
+
+@given(st.floats(min_value=1e-300, max_value=1e300))
+def test_bucket_contains_its_value(value):
+    lo, hi = bucket_bounds(bucket_index(value))
+    assert lo <= value <= hi
+    # Relative bucket width is at most 1/SUBBUCKETS.
+    assert (hi - lo) / lo <= 1.0 / SUBBUCKETS + 1e-12
+
+
+@given(st.floats(min_value=1e-300, max_value=1e300))
+def test_bucket_index_is_monotone(value):
+    assert bucket_index(value) <= bucket_index(value * (1 + 1e-6))
+
+
+def test_subnormals_do_not_collide_with_negatives():
+    tiny = 5e-324
+    assert bucket_index(tiny) > 0
+    assert bucket_index(-tiny) < 0
+
+
+# -- quantile histogram ------------------------------------------------------
+
+def test_quantiles_exact_to_bucket_resolution():
+    hist = QuantileHistogram("lat")
+    values = [0.1 * i for i in range(1, 101)]
+    hist.extend(values)
+    assert hist.count == 100
+    for q in (0.5, 0.95, 0.99):
+        true = values[max(0, math.ceil(q * 100) - 1)]
+        assert hist.quantile(q) == pytest.approx(true, rel=1.0 / SUBBUCKETS)
+    assert hist.quantile(0.0) == pytest.approx(0.1, rel=1.0 / SUBBUCKETS)
+    assert hist.quantile(1.0) == pytest.approx(10.0, rel=1.0 / SUBBUCKETS)
+
+
+def test_quantile_clamped_into_min_max():
+    hist = QuantileHistogram()
+    hist.add(5.0)
+    for q in (0.0, 0.5, 1.0):
+        assert hist.quantile(q) == 5.0
+
+
+def test_empty_histogram():
+    hist = QuantileHistogram()
+    assert hist.quantile(0.5) is None
+    assert hist.bucket_mean == 0.0
+    assert len(hist) == 0
+
+
+def test_quantile_fraction_validated():
+    with pytest.raises(ValueError):
+        QuantileHistogram().quantile(1.5)
+
+
+def test_memory_bounded_by_distinct_buckets():
+    hist = QuantileHistogram()
+    for i in range(100000):
+        hist.add(1.0 + (i % 100) / 1000.0)  # values within [1.0, 1.1)
+    assert hist.count == 100000
+    assert len(hist) <= 3  # a whole run of samples in a couple of buckets
+
+
+def test_merge_equals_single_histogram():
+    values_a = [0.01 * i for i in range(1, 200)]
+    values_b = [3.0 + 0.05 * i for i in range(1, 100)]
+    single = QuantileHistogram()
+    single.extend(values_a + values_b)
+    part_a = QuantileHistogram()
+    part_a.extend(values_a)
+    part_b = QuantileHistogram()
+    part_b.extend(values_b)
+    merged = QuantileHistogram().merge(part_a).merge(part_b)
+    assert merged.state() == single.state()
+
+
+def test_merge_is_fold_order_invariant():
+    import itertools
+
+    values = [math.exp((i % 37) / 5.0) for i in range(500)]
+    parts = [QuantileHistogram() for _ in range(4)]
+    for i, value in enumerate(values):
+        parts[i % 4].add(value)
+    states = set()
+    for perm in itertools.permutations(range(4)):
+        merged = QuantileHistogram()
+        for i in perm:
+            merged.merge(QuantileHistogram.from_state(
+                "", parts[i].state()))
+        states.add(repr(sorted(merged.state()["buckets"].items())
+                        + [merged.quantile(0.5), merged.quantile(0.99),
+                           merged.minimum, merged.maximum]))
+    assert len(states) == 1
+
+
+def test_state_round_trip():
+    hist = QuantileHistogram("x")
+    hist.extend([1.0, 2.0, -3.0, 0.0])
+    clone = QuantileHistogram.from_state("x", hist.state())
+    assert clone.state() == hist.state()
+    assert clone.quantile(0.5) == hist.quantile(0.5)
+
+
+# -- rate series -------------------------------------------------------------
+
+def test_rate_over_trailing_window():
+    rate = RateSeries("ev", window=10.0)
+    for i in range(100):
+        rate.mark(float(i))  # one event per second
+    assert rate.total == 100.0
+    assert rate.rate() == pytest.approx(1.0)
+
+
+def test_rate_empty_is_zero():
+    assert RateSeries("ev").rate() == 0.0
+
+
+def test_rate_memory_is_bounded():
+    rate = RateSeries("ev", window=10.0, max_samples=64)
+    for i in range(10000):
+        rate.mark(i * 0.5)
+    assert len(rate.monitor.times) <= 64
+    assert rate.total == 10000.0
+    assert rate.rate() == pytest.approx(2.0)
+
+
+def test_rate_window_validated():
+    with pytest.raises(ValueError):
+        RateSeries("ev", window=0.0)
+
+
+def test_rate_merge_sequential_spans():
+    first = RateSeries("ev", window=10.0)
+    for i in range(10):
+        first.mark(float(i))
+    second = RateSeries("ev", window=10.0)
+    for i in range(10, 20):
+        second.mark(float(i))
+    first.merge(second)
+    assert first.total == 20.0
+    assert first.rate() == pytest.approx(1.0)
+
+
+def test_rate_merge_empty_cases():
+    empty = RateSeries("ev", window=10.0)
+    full = RateSeries("ev", window=10.0)
+    full.mark(1.0)
+    empty.merge(full)
+    assert empty.total == 1.0
+    full.merge(RateSeries("ev", window=10.0))
+    assert full.total == 1.0
+
+
+# -- windowed TimeSeriesMonitor ---------------------------------------------
+
+def test_window_evicts_but_keeps_boundary_sample():
+    mon = TimeSeriesMonitor("m", window=5.0)
+    for t in range(20):
+        mon.record(float(t), float(t))
+    # Retention horizon is 19 - 5 = 14; the boundary sample governing
+    # the window start must survive.
+    assert mon.times[0] <= 14.0 <= mon.times[1]
+    assert mon.total_count == 20
+    assert mon.dropped_count == len(mon.times) * 0 + 20 - len(mon.times)
+
+
+def test_max_samples_bounds_memory():
+    mon = TimeSeriesMonitor("m", max_samples=16)
+    for t in range(1000):
+        mon.record(float(t), 1.0)
+    assert len(mon.times) == 16
+    assert mon.total_count == 1000
+
+
+def test_full_range_time_average_exact_across_evictions():
+    bounded = TimeSeriesMonitor("b", window=3.0)
+    unbounded = TimeSeriesMonitor("u")
+    values = [((i * 37) % 11) / 3.0 for i in range(200)]
+    for i, value in enumerate(values):
+        bounded.record(i * 0.25, value)
+        unbounded.record(i * 0.25, value)
+    assert bounded.dropped_count > 0
+    # Bit-identical, not approximately equal: the dropped integral is
+    # accumulated in the same order a full sweep would add segments.
+    assert bounded.time_average() == unbounded.time_average()
+
+
+def test_window_query_exact_at_retained_boundary():
+    mon = TimeSeriesMonitor("m", window=5.0)
+    for t in range(20):
+        mon.record(float(t), float(t % 4))
+    now = mon.times[-1]
+    full = TimeSeriesMonitor("f")
+    for t in range(20):
+        full.record(float(t), float(t % 4))
+    assert mon.time_average(now - 5.0, now) \
+        == full.time_average(now - 5.0, now)
+
+
+def test_query_starting_inside_evicted_region_raises():
+    mon = TimeSeriesMonitor("m", window=2.0)
+    for t in range(10):
+        mon.record(float(t), 1.0)
+    with pytest.raises(ValueError):
+        mon.time_average(1.0, 9.0)  # 1.0 is evicted, not the origin
+
+
+def test_query_ending_inside_evicted_region_raises():
+    mon = TimeSeriesMonitor("m", window=2.0)
+    for t in range(10):
+        mon.record(float(t), 1.0)
+    with pytest.raises(ValueError):
+        mon.time_average(0.0, 1.0)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesMonitor("m", window=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesMonitor("m", max_samples=0)
+
+
+def test_merge_disjoint_spans():
+    first = TimeSeriesMonitor("a")
+    first.record(0.0, 1.0)
+    first.record(1.0, 2.0)
+    second = TimeSeriesMonitor("b")
+    second.record(2.0, 3.0)
+    first.merge(second)
+    assert first.times == [0.0, 1.0, 2.0]
+    assert first.time_average() == pytest.approx((1.0 + 2.0) / 2.0)
+
+
+def test_merge_overlap_rejected():
+    first = TimeSeriesMonitor("a")
+    first.record(0.0, 1.0)
+    first.record(5.0, 1.0)
+    second = TimeSeriesMonitor("b")
+    second.record(3.0, 1.0)
+    with pytest.raises(ValueError):
+        first.merge(second)
+
+
+def test_merge_empty_part_is_noop():
+    mon = TimeSeriesMonitor("a")
+    mon.record(0.0, 1.0)
+    mon.merge(TimeSeriesMonitor("b"))
+    assert mon.times == [0.0]
+
+
+def test_merge_evicted_part_into_empty_transfers_state():
+    part = TimeSeriesMonitor("p", window=2.0)
+    for t in range(10):
+        part.record(float(t), float(t))
+    target = TimeSeriesMonitor("t")
+    target.merge(part)
+    assert target.dropped_count == part.dropped_count
+    assert target.time_average() == part.time_average()
+
+
+def test_merge_evicted_part_into_nonempty_rejected():
+    part = TimeSeriesMonitor("p", window=2.0)
+    for t in range(10):
+        part.record(float(t), float(t))
+    target = TimeSeriesMonitor("t")
+    target.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        target.merge(part)
+
+
+def test_merge_reapplies_retention_policy():
+    target = TimeSeriesMonitor("t", window=3.0)
+    target.record(0.0, 1.0)
+    part = TimeSeriesMonitor("p")
+    for t in range(1, 10):
+        part.record(float(t), 1.0)
+    target.merge(part)
+    assert target.times[-1] == 9.0
+    assert target.dropped_count > 0
+    assert target.time_average() == pytest.approx(1.0)

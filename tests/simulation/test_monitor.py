@@ -121,7 +121,7 @@ def test_window_filters_samples():
     mon = TimeSeriesMonitor()
     for t in range(10):
         mon.record(float(t), float(t) * 2)
-    window = mon.window(2.0, 4.0)
+    window = mon.samples_between(2.0, 4.0)
     assert window == [(2.0, 4.0), (3.0, 6.0), (4.0, 8.0)]
 
 
@@ -156,7 +156,7 @@ def test_empty_monitor_observations():
     assert mon.last_value is None
     assert mon.value_at(0.0) is None
     assert mon.time_average() == 0.0
-    assert mon.window(0.0, 100.0) == []
+    assert mon.samples_between(0.0, 100.0) == []
 
 
 def test_time_average_start_before_first_sample():
