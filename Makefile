@@ -13,11 +13,11 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint shardcheck baseline test parallel-determinism \
-	sanitize sanitize-shard trace-smoke record-smoke golden-guard \
-	bench bench-experiments experiments
+	shard-determinism sanitize sanitize-shard trace-smoke \
+	record-smoke golden-guard bench bench-experiments experiments
 
-check: lint shardcheck test parallel-determinism sanitize \
-	sanitize-shard trace-smoke record-smoke golden-guard
+check: lint shardcheck test parallel-determinism shard-determinism \
+	sanitize sanitize-shard trace-smoke record-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
@@ -46,6 +46,40 @@ test:
 # `test`; see docs/performance.md).
 parallel-determinism:
 	$(PYTHON) -m pytest -x -q tests/experiments/test_parallel_determinism.py
+
+# Byte-identity across *shard* counts: the sharded engine's
+# determinism contract says every artifact is a pure function of
+# (scenario, seed), never of shard count or placement.  Table 2 plus
+# its trace and flight record are compared across {1,2,4} shards, and
+# the fleet scenario (the genuinely decomposable multi-site world,
+# including its merged flight record) across {1,4}.  The fleet flight
+# file reuses one path so the printed output is comparable too.
+shard-determinism:
+	$(PYTHON) -m repro table2 --seed 42 --shards 1 > .shard-det-t2-1.txt
+	$(PYTHON) -m repro table2 --seed 42 --shards 2 > .shard-det-t2-2.txt
+	$(PYTHON) -m repro table2 --seed 42 --shards 4 > .shard-det-t2-4.txt
+	cmp .shard-det-t2-1.txt .shard-det-t2-2.txt
+	cmp .shard-det-t2-1.txt .shard-det-t2-4.txt
+	$(PYTHON) -m repro trace table2 --seed 42 --shards 1 \
+	    --out .shard-det-trace-1.json
+	$(PYTHON) -m repro trace table2 --seed 42 --shards 2 \
+	    --out .shard-det-trace-2.json
+	cmp .shard-det-trace-1.json .shard-det-trace-2.json
+	$(PYTHON) -m repro record table2 --seed 42 --shards 1 \
+	    --out .shard-det-rec-1.jsonl
+	$(PYTHON) -m repro record table2 --seed 42 --shards 2 \
+	    --out .shard-det-rec-2.jsonl
+	cmp .shard-det-rec-1.jsonl .shard-det-rec-2.jsonl
+	$(PYTHON) -m repro fleet --seed 42 --shards 1 \
+	    --out .shard-det-flight.jsonl > .shard-det-fleet-1.txt
+	mv .shard-det-flight.jsonl .shard-det-flight-1.jsonl
+	$(PYTHON) -m repro fleet --seed 42 --shards 4 \
+	    --out .shard-det-flight.jsonl > .shard-det-fleet-4.txt
+	cmp .shard-det-fleet-1.txt .shard-det-fleet-4.txt
+	cmp .shard-det-flight-1.jsonl .shard-det-flight.jsonl
+	rm -f .shard-det-t2-*.txt .shard-det-trace-*.json \
+	    .shard-det-rec-*.jsonl .shard-det-fleet-*.txt \
+	    .shard-det-flight*.jsonl
 
 # Replay the reduced-scale table2 scenario at seed 42 under simsan:
 # zero hazards required, and the sanitized run's output must match an
@@ -94,6 +128,7 @@ golden-guard:
 # baseline, and the speedup ratio — see docs/performance.md).
 bench: bench-experiments
 	$(PYTHON) -m pytest -x -q benchmarks/test_kernel_throughput.py
+	$(PYTHON) -m pytest -x -q benchmarks/test_sharded_throughput.py
 
 # End-to-end experiment benchmark: wall-clock of figure1/table2 at
 # samples=1000 plus the staging ablation and scenario events/sec;

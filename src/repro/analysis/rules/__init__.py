@@ -64,5 +64,6 @@ from repro.analysis.rules import (  # noqa: E402,F401  (import for effect)
     poolsize,
     printing,
     randomness,
+    shardchannel,
     wallclock,
 )

@@ -5,6 +5,8 @@ Usage::
     python -m repro table1 [--scale 1.0]
     python -m repro table2 [--samples 10] [--workers 4]
     python -m repro figure1 [--samples 150] [--workers 4]
+    python -m repro fleet [--sites 3] [--sessions 3] [--shards 4]
+                          [--interval T] [--out flight.jsonl]
     python -m repro ablations [--workers 4]
     python -m repro overlay
     python -m repro migration
@@ -50,6 +52,16 @@ model layer was justified from.
 (``docs/performance.md``); every artifact is byte-identical for any
 worker count, including the single-world ``trace``/``metrics`` runs,
 which stay sequential by construction.
+
+``--shards N`` parallelizes *within* one simulated world: the grid is
+partitioned by site and each partition runs its own kernel under the
+deterministic conservative protocol of
+:mod:`repro.simulation.sharded` (``docs/sharding.md``).  Orthogonal to
+``--workers`` (which parallelizes *across* independent worlds); every
+artifact is byte-identical for any shard count.  ``fleet`` is the
+decomposable multi-site scenario built for it — the paper's own
+single-session artifacts accept ``--shards`` but are one-kernel worlds,
+so the flag validates and runs the identical inline path.
 """
 
 from __future__ import annotations
@@ -81,7 +93,7 @@ def _cmd_table2(args) -> None:
     from repro.experiments.table2 import run_table2
 
     rows = run_table2(samples=args.samples, seed=args.seed,
-                      workers=args.workers)
+                      workers=args.workers, shards=args.shards)
     print(format_table(
         ["Start", "Storage", "Mean(s)", "Std", "Min", "Max"],
         [[r.start_mode, r.storage_mode, "%.1f" % r.mean, "%.1f" % r.std,
@@ -130,6 +142,23 @@ def _cmd_ablations(args) -> None:
           "on-demand" if p.on_demand_wins else "staged"]
          for p in staging],
         title="A3: staging vs on-demand"))
+
+
+def _cmd_fleet(args) -> None:
+    from repro.experiments.fleet import run_fleet
+
+    result = run_fleet(sites=args.sites, sessions=args.sessions,
+                       seed=args.seed, shards=args.shards,
+                       interval=args.interval, capacity=args.capacity)
+    print(result.render())
+    print(result.merged_metrics().to_table(
+        title="Fleet metrics (merged across %d site shard(s))"
+        % len(result.sites)))
+    if args.out:
+        recorder = result.merged_recorder()
+        count = recorder.write(args.out)
+        print("\nwrote %s: %d merged heartbeat(s) at %gs intervals"
+              % (args.out, count, args.interval))
 
 
 def _cmd_overlay(args) -> None:
@@ -181,7 +210,8 @@ def _cmd_trace(args) -> None:
 
     target = _require_target(args)
     out = args.out or "%s-trace.json" % target
-    sim, count = trace_experiment(target, out, seed=args.seed)
+    sim, count = trace_experiment(target, out, seed=args.seed,
+                                  shards=args.shards)
     print("wrote %s: %d trace events, %.2f simulated seconds"
           % (out, count, sim.now))
 
@@ -205,7 +235,7 @@ def _cmd_record(args) -> None:
     out = args.out or "%s-record.jsonl" % target
     sim, _grid, recorder = record_experiment(
         target, interval=args.interval, seed=args.seed,
-        capacity=args.capacity)
+        capacity=args.capacity, shards=args.shards)
     count = recorder.write(out)
     print("wrote %s: %d heartbeat(s) at %gs intervals, "
           "%.2f simulated seconds"
@@ -304,6 +334,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure1": _cmd_figure1,
+    "fleet": _cmd_fleet,
     "ablations": _cmd_ablations,
     "overlay": _cmd_overlay,
     "migration": _cmd_migration,
@@ -335,9 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replication worker processes (default 1: "
                              "sequential; results are byte-identical "
                              "for any value)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the simulated world by site and "
+                             "run up to N partition kernels in parallel "
+                             "(default 1; results are byte-identical "
+                             "for any value — see docs/sharding.md)")
+    parser.add_argument("--sites", type=int, default=3,
+                        help="fleet: number of sites (default 3)")
+    parser.add_argument("--sessions", type=int, default=3,
+                        help="fleet: sessions per site (default 3)")
     parser.add_argument("--out", default=None,
                         help="trace: output file "
-                             "(default <target>-trace.json)")
+                             "(default <target>-trace.json); "
+                             "fleet: merged flight-record JSONL path")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="table1: application scale factor")
     parser.add_argument("--samples", type=int, default=None,

@@ -286,6 +286,32 @@ class VirtualGrid:
             return ""
         return machine.site if model == "site" else host_name
 
+    def partition_groups(self, model: str = "site"):
+        """The distinct partition labels of :meth:`partitions`, sorted.
+
+        These are the shard plan's groups: one prospective shard per
+        site (or per host under the finest model).
+        """
+        return sorted(set(self.partitions(model).values()))
+
+    def lookaheads(self, model: str = "site"):
+        """Pairwise conservative lookaheads between partition groups.
+
+        ``(a, b) -> Network.min_latency(a, b)`` over the partition
+        labels of ``model="site"`` — the minimum simulated delay any
+        event pays to cross between the groups, which is exactly the
+        safety margin the sharded engine's windows need.  A zero or
+        missing latency (co-located groups) simply yields an entry the
+        :class:`~repro.simulation.sharded.ShardPlan` will reject —
+        such groups cannot be sharded apart.
+        """
+        if model != "site":
+            raise SimulationError("lookaheads are defined for the "
+                                  "'site' shard model only")
+        groups = self.partition_groups(model)
+        return {(a, b): self.network.min_latency(a, b)
+                for a in groups for b in groups if a != b}
+
     def scoped_metrics(self, host_name: str):
         """A metrics view keyed to the host's partition.
 

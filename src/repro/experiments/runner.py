@@ -41,6 +41,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.simulation.monitor import StatAccumulator
 from repro.simulation.randomness import RandomStreams
+from repro.simulation.workerpool import register_shutdown
 
 __all__ = ["run_replications", "replication_seeds", "merge_accumulators",
            "shutdown_pool"]
@@ -53,17 +54,16 @@ __all__ = ["run_replications", "replication_seeds", "merge_accumulators",
 #: pool carries no simulation data between tasks (workers receive every
 #: input by argument and return parts by value; see
 #: tests/experiments/test_pool_state_isolation.py for the proof), so
-#: reuse cannot couple replications.
+#: reuse cannot couple replications.  The teardown discipline (one
+#: atexit hook, reset on failure) is shared with the sharded engine's
+#: persistent worker group through repro.simulation.workerpool.
 _POOL = None  # simlint: disable=R15  process infrastructure; workers exchange state only by argument/return
 _POOL_WORKERS = 0  # simlint: disable=R15  paired with _POOL above
 
 
-_ATEXIT_INSTALLED = False  # simlint: disable=R15  one-shot latch for the atexit hook
-
-
 def _warm_pool(workers: int):
     """The shared pool for ``workers`` processes, creating it on demand."""
-    global _POOL, _POOL_WORKERS, _ATEXIT_INSTALLED
+    global _POOL, _POOL_WORKERS
     if _POOL is not None and _POOL_WORKERS != workers:
         shutdown_pool()
     if _POOL is None:
@@ -73,13 +73,7 @@ def _warm_pool(workers: int):
 
         _POOL = multiprocessing.Pool(processes=workers)
         _POOL_WORKERS = workers
-        if not _ATEXIT_INSTALLED:
-            # Once per process: re-registering on every pool recreation
-            # would stack duplicate (harmless but unbounded) callbacks.
-            import atexit
-
-            atexit.register(shutdown_pool)
-            _ATEXIT_INSTALLED = True
+        register_shutdown(shutdown_pool)
     return _POOL
 
 

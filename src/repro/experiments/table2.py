@@ -131,8 +131,8 @@ def startup_sample(start_mode: str, storage_mode: str, seed: int) -> float:
     return job.total_time
 
 
-def run_table2(samples: int = 10, seed: int = 0, workers: int = 1
-               ) -> List[Table2Row]:
+def run_table2(samples: int = 10, seed: int = 0, workers: int = 1,
+               shards: int = 1) -> List[Table2Row]:
     """The full table: every (start, storage) cell over ``samples`` runs.
 
     Every sample is an independent simulated world, so all
@@ -140,7 +140,16 @@ def run_table2(samples: int = 10, seed: int = 0, workers: int = 1
     at once; the values come back in task order and feed each cell's
     accumulator exactly as a sequential run would, keeping the table
     byte-identical for any worker count.
+
+    ``shards`` parallelizes *within* one simulated world, and each
+    startup sample's world is a single LAN — a one-group shard plan —
+    so any value runs the identical inline path (byte-identical table
+    by construction); the parallelism axis for this experiment is
+    ``workers``.
     """
+    from repro.simulation.sharded import single_group_shards
+
+    single_group_shards(shards, "table2 samples are single-site worlds")
     cells = [(start_mode, storage_mode)
              for start_mode in START_MODES
              for storage_mode in STORAGE_MODES]

@@ -55,6 +55,12 @@ class Network:
         # latency sums stay valid as long as the routes do.
         self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
         self._latency_cache: Dict[Tuple[str, str], float] = {}
+        # Symmetric site-pair minimum latency matrix (the sharded
+        # engine's lookahead source); built whole on first use because
+        # a lookahead query for one pair always precedes queries for
+        # the rest of the plan.
+        self._site_latency_cache: Optional[Dict[Tuple[str, str],
+                                                float]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -87,6 +93,7 @@ class Network:
         self._route_cache.clear()
         self._path_cache.clear()
         self._latency_cache.clear()
+        self._site_latency_cache = None
 
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
@@ -154,6 +161,65 @@ class Network:
         if not links:
             return float("inf")
         return min(link.bandwidth for link in links)
+
+    # -- site-level queries (the sharded engine's lookahead source) ----------
+
+    def sites(self) -> List[str]:
+        """The distinct site labels of all registered hosts, sorted."""
+        return sorted({attrs["site"] for attrs in self._hosts.values()})
+
+    def hosts_in(self, site: str) -> List[str]:
+        """The end hosts of one site, sorted."""
+        return sorted(name for name, attrs in self._hosts.items()
+                      if attrs["site"] == site)
+
+    def _site_matrix(self) -> Dict[Tuple[str, str], float]:
+        """The symmetric site-pair minimum-latency matrix (cached)."""
+        matrix = self._site_latency_cache
+        if matrix is None:
+            matrix = {}
+            sites = self.sites()
+            for i, site_a in enumerate(sites):
+                hosts_a = self.hosts_in(site_a)
+                for site_b in sites[i + 1:]:
+                    best = float("inf")
+                    for a in hosts_a:
+                        for b in self.hosts_in(site_b):
+                            try:
+                                value = self.latency(a, b)
+                            except SimulationError:
+                                continue  # disconnected pair
+                            if value < best:
+                                best = value
+                    matrix[(site_a, site_b)] = best
+                    matrix[(site_b, site_a)] = best
+            self._site_latency_cache = matrix
+        return matrix
+
+    def min_latency(self, site_a: str, site_b: str) -> float:
+        """The minimum one-way latency between two sites' hosts.
+
+        This is the conservative lookahead of the sharded engine: no
+        event crossing from ``site_a`` to ``site_b`` can take effect
+        sooner than this, because every routed path between the sites
+        pays at least this much propagation delay.  Symmetric (routing
+        is shortest-path over undirected links), cached until the
+        topology changes, and ``inf`` when no host pair is connected.
+        Querying an unknown site or a site against itself is an error —
+        intra-site events never cross a shard boundary.
+        """
+        for site in (site_a, site_b):
+            if not self.hosts_in(site):
+                raise SimulationError("site %s has no hosts" % site)
+        if site_a == site_b:
+            raise SimulationError(
+                "min_latency is a cross-site lookahead; %s vs itself "
+                "is not a shard boundary" % site_a)
+        return self._site_matrix()[(site_a, site_b)]
+
+    def site_lookaheads(self) -> Dict[Tuple[str, str], float]:
+        """A copy of the full symmetric site-pair lookahead matrix."""
+        return dict(self._site_matrix())
 
     # -- canned topologies ---------------------------------------------------
 

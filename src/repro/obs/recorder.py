@@ -188,6 +188,29 @@ class FlightRecorder:
         if final_sample:
             self.sample()
 
+    def detach(self) -> "FlightRecorder":
+        """A picklable copy of the record, cut loose from live objects.
+
+        The sharded engine ships per-shard records back across the
+        process boundary this way: entries, interval and capacity
+        survive; the simulation and registry handles (unpicklable,
+        and meaningless in another process) do not.  The detached
+        recorder exports and merges exactly like the original.
+        """
+        detached = FlightRecorder.__new__(FlightRecorder)
+        detached.sim = None
+        detached.interval = self.interval
+        detached.capacity = self.capacity
+        detached.registry = None
+        detached.include_kernel = self.include_kernel
+        detached.entries = deque(self.entries, maxlen=self.capacity)
+        detached.samples_taken = self.samples_taken
+        detached._proc = None
+        detached._prev_events = self._prev_events
+        detached._prev_counters = dict(self._prev_counters)
+        detached._prev_hist_counts = dict(self._prev_hist_counts)
+        return detached
+
     # -- merging -----------------------------------------------------------
 
     @staticmethod

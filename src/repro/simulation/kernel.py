@@ -391,7 +391,7 @@ class Simulation:
     _PRIORITY_NORMAL = 2   # ordinary events
 
     def __init__(self, start_time: float = 0.0, seed: int = 0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, metrics=None):
         self.now = float(start_time)
         self.seed = int(seed)
         self._queue: List[Tuple[float, int, int, Event]] = []
@@ -399,7 +399,10 @@ class Simulation:
         self._next_id = 0
         self._active_process: Optional[Process] = None
         self._streams = None
-        self._metrics = None
+        # ``metrics`` lets the owner install a pre-configured registry
+        # (e.g. a partition-keyed one for a shard kernel) before any
+        # component resolves a metric; None keeps the lazy default.
+        self._metrics = metrics
         self._model_caches: Optional[Dict[str, dict]] = None
         #: The attached tracer; the shared null tracer unless one is given.
         self.trace: Tracer = tracer if tracer is not None else NULL_TRACER
@@ -478,6 +481,28 @@ class Simulation:
     def any_of(self, events: Iterable[Event]) -> Condition:
         """Event that fires when at least one event in ``events`` has fired."""
         return Condition(self, events, count=1)
+
+    def call_at(self, when: float, callback: Callable[["Simulation"], None]
+                ) -> Event:
+        """Schedule ``callback(self)`` at absolute time ``when``.
+
+        The external injection hook of the sharded engine: a driver
+        that holds the kernel between events (never from model code
+        running *inside* it) plants a callback at a future instant —
+        e.g. a cross-shard message delivery at its stamped time.  The
+        callback fires after any already-queued event at the same
+        instant (entry ids order the tie), which is exactly the
+        documented delivery-order contract for shard channels.
+        """
+        if when < self.now:
+            raise SimulationError(
+                "cannot call back at %r, already at %r" % (when, self.now))
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda _event: callback(self))
+        self._enqueue_event(event, delay=when - self.now)
+        return event
 
     @property
     def active_process(self) -> Optional[Process]:

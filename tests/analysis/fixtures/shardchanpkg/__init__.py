@@ -1,0 +1,7 @@
+"""Fixture package for simlint rule R21 (cross-shard-access).
+
+Each module exercises one path: ``bypass`` fires (kernel access and
+handle escapes through a shard-world handle), ``channels`` stays
+clean (the stamped channel API plus read-only observations), and
+``suppressed`` documents the audited opt-out.
+"""

@@ -1,0 +1,28 @@
+"""Violations: kernel access that bypasses the stamped channel API."""
+
+from repro.simulation import Simulation
+from repro.simulation.sharded import ShardWorld
+
+world = ShardWorld(Simulation(), "a", {"b": 0.5})
+
+
+def inject_remote_event(when):
+    # Scheduling into a shard without a stamp: placement-dependent.
+    world.sim.call_at(when, lambda sim: None)
+
+
+def steal_kernel_handle():
+    # The alias escapes; callers can mutate the queue unstamped.
+    return world.sim
+
+
+def poke_through_back_reference(kernel):
+    kernel.world.sim.spawn(_noop(), name="smuggled")
+
+
+def poke_fresh_world():
+    ShardWorld(Simulation(), "b", {}).sim.run(until=1.0)
+
+
+def _noop():
+    yield

@@ -1,0 +1,21 @@
+"""Clean usage: stamped sends, handlers, read-only observations."""
+
+from repro.simulation import Simulation
+from repro.simulation.sharded import ShardWorld
+
+
+def build_world(group, lookaheads):
+    sim = Simulation(seed=7)
+    world = ShardWorld(sim, group, lookaheads)
+    log = []
+
+    def on_ping(w, message):
+        log.append((w.sim.now, message.sender, message.payload))
+        w.send("b", "pong", message.payload, latency=0.5)
+
+    world.on_message("ping", on_ping)
+    # Pure reads through the handle are permitted.
+    horizon_hint = (world.sim.now, world.sim.peek(), world.sim.seed)
+    # The shard's own kernel, named directly, is not a handle access.
+    sim.call_at(0.25, lambda _sim: None)
+    return world, horizon_hint

@@ -1,0 +1,10 @@
+"""The suppression path: an audited exception with a justification."""
+
+from repro.simulation import Simulation
+from repro.simulation.sharded import ShardWorld
+
+world = ShardWorld(Simulation(), "a", {})
+
+
+def drain_for_teardown():
+    world.sim.run(until=1.0)  # simlint: disable=R21  single-shard teardown, no peers remain

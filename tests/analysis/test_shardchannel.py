@@ -1,0 +1,91 @@
+"""Rule R21 (cross-shard-access): inline snippets, the fixture
+package golden, and the guarantee that the repro tree itself is clean
+(the engine's own round loop carries audited inline suppressions)."""
+
+import os
+
+from repro.analysis import analyze_paths, analyze_source
+
+FIXTURE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "fixtures", "shardchanpkg")
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                   os.pardir, os.pardir, "src", "repro")
+
+
+def codes(source):
+    return [f.code for f in analyze_source(source)]
+
+
+# -- inline snippets ---------------------------------------------------------
+
+def test_r21_kernel_mutation_through_handle_fires():
+    assert "R21" in codes(
+        "from repro.simulation.sharded import ShardWorld\n"
+        "world = ShardWorld(sim, 'a', {})\n"
+        "world.sim.call_at(1.0, fn)\n")
+
+
+def test_r21_handle_alias_fires():
+    assert "R21" in codes(
+        "from repro.simulation.sharded import ShardWorld\n"
+        "world = ShardWorld(sim, 'a', {})\n"
+        "kernel = world.sim\n")
+
+
+def test_r21_back_reference_chain_fires():
+    assert "R21" in codes("def poke(k):\n"
+                          "    k.world.sim.schedule(event)\n")
+
+
+def test_r21_direct_construction_chain_fires():
+    assert "R21" in codes(
+        "import repro.simulation.sharded as sharded\n"
+        "sharded.ShardWorld(sim, 'a', {}).sim.run(until=2.0)\n")
+
+
+def test_r21_read_only_members_clean():
+    assert codes(
+        "from repro.simulation.sharded import ShardWorld\n"
+        "world = ShardWorld(sim, 'a', {})\n"
+        "snapshot = (world.sim.now, world.sim.peek(), world.sim.seed)\n"
+    ) == []
+
+
+def test_r21_unrelated_sim_attribute_clean():
+    # ``self.sim`` / ``config.sim.x``: not a shard-world handle.
+    assert codes("class Recorder:\n"
+                 "    def tick(self):\n"
+                 "        return self.sim.run(until=1.0)\n") == []
+    assert codes("x = config.sim\n") == []
+
+
+def test_r21_suppression():
+    assert codes(
+        "from repro.simulation.sharded import ShardWorld\n"
+        "world = ShardWorld(sim, 'a', {})\n"
+        "world.sim.run(until=1.0)  "
+        "# simlint: disable=R21  teardown\n") == []
+
+
+# -- fixture-package golden --------------------------------------------------
+
+def test_shardchanpkg_golden():
+    findings = [f for f in analyze_paths([FIXTURE]) if f.code == "R21"]
+    golden = [(os.path.relpath(f.path, FIXTURE), f.line) for f in findings]
+    # Exactly the four bypasses — clean and suppressed modules
+    # contribute nothing.
+    assert golden == [("bypass.py", 11), ("bypass.py", 16),
+                      ("bypass.py", 20), ("bypass.py", 24)]
+
+
+def test_shardchanpkg_messages_name_the_channel_api():
+    for finding in (f for f in analyze_paths([FIXTURE])
+                    if f.code == "R21"):
+        assert "ShardWorld.send" in finding.message
+
+
+def test_repro_tree_is_r21_clean():
+    """The engine owns its shards via audited inline suppressions;
+    nothing else in the model tree reaches through a world handle."""
+    assert [f for f in analyze_paths([SRC]) if f.code == "R21"] == []

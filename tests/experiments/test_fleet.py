@@ -1,0 +1,143 @@
+"""The fleet scenario: byte-identity across shard counts, end to end.
+
+This is the acceptance test of the sharded engine's determinism
+contract on a real model workload: every artifact a fleet run produces
+— the rendered tables, the merged partition-keyed metrics registry,
+the merged flight record — must be byte-identical for shards in
+{1, 2, 4}, where 1 runs everything inline and the rest spread the
+site kernels over persistent worker processes.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.fleet import (fleet_lookaheads, fleet_sites,
+                                     run_fleet)
+from repro.simulation.workerpool import shutdown_warm_group
+
+
+def teardown_module(_module):
+    shutdown_warm_group()
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One small fleet run per shard count (module-scoped: the runs
+    are the expensive part, the assertions are cheap)."""
+    return {shards: run_fleet(sites=4, sessions=2, seed=42,
+                              shards=shards)
+            for shards in (1, 2, 4)}
+
+
+def test_fleet_tables_byte_identical_across_shards(runs):
+    renders = {s: r.render() for s, r in runs.items()}
+    assert renders[1] == renders[2] == renders[4]
+    assert "Fleet sessions" in renders[1]
+    assert "Fleet remote dispatches" in renders[1]
+
+
+def test_fleet_metrics_byte_identical_across_shards(runs):
+    payloads = {s: r.merged_metrics().to_json() for s, r in runs.items()}
+    assert payloads[1] == payloads[2] == payloads[4]
+    # Partition keying: every site's shard carried its own keys.
+    for site in fleet_sites(4):
+        assert "fleet.sessions[%s]" % site in payloads[1]
+
+
+def test_fleet_flight_records_byte_identical_across_shards(runs):
+    records = {s: r.merged_recorder().to_jsonl() for s, r in runs.items()}
+    assert records[1] == records[2] == records[4]
+    assert records[1].count("\n") > 10
+
+
+def test_fleet_round_schedule_is_placement_invariant(runs):
+    reference = runs[1].run
+    for shards in (2, 4):
+        run = runs[shards].run
+        assert run.rounds == reference.rounds
+        assert run.messages_delivered == reference.messages_delivered
+        assert run.end_time == reference.end_time
+        assert run.events == reference.events
+    assert reference.messages_delivered == 4 * 2  # one per session, ring
+
+
+def test_fleet_sessions_all_complete(runs):
+    for site in fleet_sites(4):
+        data = runs[1].site_data(site)
+        assert [row["session"] for row in data["sessions"]] == [0, 1]
+        # Each site received its ring neighbor's two dispatches.
+        assert sorted(row["job"] for row in data["remote"]) == [0, 1]
+        for row in data["sessions"]:
+            assert row["end"] > row["app_done"] > row["ready"] \
+                > row["start"]
+
+
+def test_fleet_lookaheads_come_from_the_reference_topology():
+    labels = fleet_sites(3)
+    matrix = fleet_lookaheads(labels)
+    # Ring edges only, all positive, symmetric star topology -> equal.
+    assert set(matrix) == {("site00", "site01"), ("site01", "site02"),
+                           ("site02", "site00")}
+    values = set(matrix.values())
+    assert len(values) == 1
+    assert values.pop() == pytest.approx(2 * 0.015 + 2 * 5e-5)
+    assert fleet_lookaheads(fleet_sites(1)) == {}
+
+
+def test_single_site_fleet_degenerates_cleanly():
+    result = run_fleet(sites=1, sessions=1, seed=7, shards=4)
+    assert result.run.workers == 1
+    assert result.run.messages_delivered == 0
+    assert result.site_data("site00")["remote"] == []
+    assert len(result.site_data("site00")["sessions"]) == 1
+
+
+# -- CLI plumbing ------------------------------------------------------------
+
+
+def test_cli_fleet_output_identical_across_shards(tmp_path, capsys):
+    outputs = {}
+    flights = {}
+    for shards in (1, 2):
+        out = tmp_path / ("flight-%d.jsonl" % shards)
+        assert main(["fleet", "--sites", "3", "--sessions", "1",
+                     "--seed", "42", "--shards", str(shards),
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        outputs[shards] = printed.replace(str(out), "FLIGHT")
+        flights[shards] = out.read_bytes()
+    assert outputs[1] == outputs[2]
+    assert flights[1] == flights[2]
+    assert "Fleet run" in outputs[1]
+    assert "Fleet metrics" in outputs[1]
+
+
+def test_cli_legacy_commands_accept_shards_identically(capsys):
+    """--shards on the paper's single-kernel artifacts: validated,
+    identical inline path, byte-identical stdout."""
+    outputs = {}
+    for shards in ("1", "4"):
+        assert main(["table2", "--samples", "2", "--seed", "42",
+                     "--shards", shards]) == 0
+        outputs[shards] = capsys.readouterr().out
+    assert outputs["1"] == outputs["4"]
+    assert "Table 2" in outputs["1"]
+
+
+def test_cli_record_accepts_shards_identically(tmp_path):
+    records = {}
+    for shards in ("1", "3"):
+        out = tmp_path / ("rec-%s.jsonl" % shards)
+        assert main(["record", "table2", "--seed", "42",
+                     "--shards", shards, "--out", str(out)]) == 0
+        records[shards] = out.read_bytes()
+    assert records["1"] == records["3"]
+
+
+def test_fleet_rejects_degenerate_parameters():
+    from repro.simulation.kernel import SimulationError
+
+    with pytest.raises(SimulationError):
+        run_fleet(sites=0)
+    with pytest.raises(SimulationError):
+        run_fleet(sessions=0)

@@ -106,3 +106,89 @@ def test_link_between():
     link = net.link_between("a", "b")
     assert link is not None and link.latency == pytest.approx(0.010)
     assert net.link_between("b", "a") is link
+
+
+# -- site-level lookahead queries (the sharded engine's safety margin) --------
+
+
+def build_three_sites(sim):
+    """Three LANs star-joined over a backbone at distinct WAN latencies."""
+    net = Network(sim)
+    net.add_router("backbone")
+    for site, wan in (("uf", 0.010), ("nw", 0.020), ("anl", 0.040)):
+        switch = site + "-sw"
+        net.add_router(switch)
+        net.add_link(switch, "backbone", latency=wan, bandwidth=2.5e6)
+        for index in range(2):
+            host = "%s-h%d" % (site, index)
+            net.add_host(host, site=site)
+            net.add_link(host, switch, latency=0.001 * (index + 1),
+                         bandwidth=12.5e6)
+    return net
+
+
+def test_sites_and_hosts_in_are_sorted():
+    net = build_three_sites(Simulation())
+    assert net.sites() == ["anl", "nw", "uf"]
+    assert net.hosts_in("uf") == ["uf-h0", "uf-h1"]
+    assert net.hosts_in("ghost") == []
+
+
+def test_min_latency_is_min_over_host_pairs():
+    net = build_three_sites(Simulation())
+    # Cheapest uf<->nw pair is h0<->h0: 0.001 + 0.010 + 0.020 + 0.001.
+    expected = min(net.latency(a, b)
+                   for a in net.hosts_in("uf") for b in net.hosts_in("nw"))
+    assert net.min_latency("uf", "nw") == expected
+    assert net.min_latency("uf", "nw") == pytest.approx(0.032)
+    # And it lower-bounds every per-path latency a flow would ride.
+    for a in net.hosts_in("uf"):
+        for b in net.hosts_in("nw"):
+            assert net.min_latency("uf", "nw") <= net.latency(a, b)
+
+
+def test_min_latency_is_symmetric():
+    net = build_three_sites(Simulation())
+    for a in ("uf", "nw", "anl"):
+        for b in ("uf", "nw", "anl"):
+            if a != b:
+                assert net.min_latency(a, b) == net.min_latency(b, a)
+
+
+def test_min_latency_rejects_self_and_unknown_sites():
+    net = build_three_sites(Simulation())
+    with pytest.raises(SimulationError):
+        net.min_latency("uf", "uf")
+    with pytest.raises(SimulationError):
+        net.min_latency("uf", "ghost")
+
+
+def test_min_latency_disconnected_sites_is_infinite():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a", site="left")
+    net.add_host("b", site="right")  # no link between them
+    assert net.min_latency("left", "right") == float("inf")
+
+
+def test_site_matrix_cache_invalidated_by_topology_change():
+    net = build_three_sites(Simulation())
+    before = net.min_latency("uf", "anl")
+    assert before == pytest.approx(0.052)
+    # A shortcut link between the two switches must bust the cache.
+    net.add_link("uf-sw", "anl-sw", latency=0.005, bandwidth=2.5e6)
+    assert net.min_latency("uf", "anl") == pytest.approx(0.007)
+    assert net.min_latency("uf", "anl") < before
+
+
+def test_site_lookaheads_returns_full_symmetric_matrix():
+    net = build_three_sites(Simulation())
+    matrix = net.site_lookaheads()
+    assert set(matrix) == {(a, b)
+                           for a in ("anl", "nw", "uf")
+                           for b in ("anl", "nw", "uf") if a != b}
+    for (a, b), value in matrix.items():
+        assert value == net.min_latency(a, b)
+    # The copy is detached: mutating it must not poison the cache.
+    matrix[("uf", "nw")] = 0.0
+    assert net.min_latency("uf", "nw") == pytest.approx(0.032)

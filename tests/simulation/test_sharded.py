@@ -1,0 +1,293 @@
+"""Unit tests for the sharded conservative-parallel engine."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.simulation import Simulation
+from repro.simulation.sharded import (ShardError, ShardKernel,
+                                      ShardMessage, ShardPlan,
+                                      ShardWorld, ShardedSimulation,
+                                      deliver_order,
+                                      single_group_shards)
+from repro.simulation.workerpool import (WorkerGroupError,
+                                         shutdown_warm_group)
+
+#: Fixed per-group seeds (never hash(): it varies across interpreter
+#: runs and would make the expected values flaky).
+_SEEDS = {"a": 11, "b": 23, "c": 47}
+
+
+def teardown_module(_module):
+    shutdown_warm_group()
+
+
+# -- toy builders (module-level: they cross process boundaries by name) ------
+
+
+def build_ring_world(group, lookaheads, groups, hops, latency=0.5,
+                     with_recorder=False, interval=1.0):
+    """A token ring: each world forwards an incrementing token."""
+    registry = MetricsRegistry(partition=group)
+    sim = Simulation(seed=_SEEDS[group], metrics=registry)
+    recorder = None
+    if with_recorder:
+        recorder = FlightRecorder(sim, interval=interval,
+                                  registry=registry,
+                                  include_kernel=False)
+    world = ShardWorld(sim, group, lookaheads, recorder=recorder)
+    order = list(groups)
+    ring_next = order[(order.index(group) + 1) % len(order)]
+    log = []
+    tokens = registry.counter("ring.tokens")
+
+    def on_token(w, message):
+        log.append((w.sim.now, message.sender, message.payload))
+        tokens.inc()
+        if message.payload < hops:
+            w.send(ring_next, "token", message.payload + 1,
+                   latency=latency)
+        else:
+            w.close_outbound()
+
+    world.on_message("token", on_token)
+    if order.index(group) == 0:
+        def kick(_sim):
+            world.send(ring_next, "token", 1, latency=latency)
+
+        sim.call_at(0.25, kick)
+    world.collect = lambda w: list(log)
+    return world
+
+
+def build_silent_world(group, lookaheads):
+    """No events at all: the engine must terminate immediately."""
+    world = ShardWorld(Simulation(seed=_SEEDS[group]), group, lookaheads)
+    world.collect = lambda w: "silent"
+    return world
+
+
+def build_exploding_world(group, lookaheads):
+    if group == "b":
+        raise RuntimeError("boom in %s" % group)
+    return ShardWorld(Simulation(seed=_SEEDS[group]), group, lookaheads)
+
+
+def build_boundary_world(group, lookaheads):
+    """Sender emits at *exactly* the lookahead; receiver has a local
+    event at exactly the delivery instant (the zero-remainder case)."""
+    sim = Simulation(seed=_SEEDS[group])
+    world = ShardWorld(sim, group, lookaheads)
+    log = []
+    if group == "a":
+        def kick(_sim):
+            world.send("b", "edge", "on-the-boundary", latency=1.0)
+            world.close_outbound()
+
+        sim.call_at(1.0, kick)  # deliver lands exactly at t=2.0
+    else:
+        world.close_outbound()
+
+        def local(_sim):
+            log.append(("local", sim.now))
+
+        sim.call_at(2.0, local)  # same instant as the delivery
+
+        def on_edge(w, message):
+            log.append(("edge", w.sim.now, message.payload))
+
+        world.on_message("edge", on_edge)
+    world.collect = lambda w: list(log)
+    return world
+
+
+def _run_ring(shards, hops=9, **kwargs):
+    groups = ["a", "b", "c"]
+    plan = ShardPlan.uniform(groups, 0.5)
+    engine = ShardedSimulation(build_ring_world, plan, shards=shards,
+                               kwargs=dict(groups=groups, hops=hops,
+                                           **kwargs))
+    return engine.run()
+
+
+# -- messages and plans ------------------------------------------------------
+
+
+def test_message_sort_key_orders_by_stamp():
+    msgs = [ShardMessage("d", "ch", None, 2.0, 1.0, "b", 0),
+            ShardMessage("d", "ch", None, 1.0, 0.5, "b", 1),
+            ShardMessage("d", "ch", None, 1.0, 0.5, "a", 0),
+            ShardMessage("d", "ch", None, 1.0, 0.2, "c", 4)]
+    ordered = deliver_order(msgs)
+    assert [(m.deliver_time, m.send_time, m.sender, m.seq)
+            for m in ordered] == [(1.0, 0.2, "c", 4), (1.0, 0.5, "a", 0),
+                                  (1.0, 0.5, "b", 1), (2.0, 1.0, "b", 0)]
+
+
+def test_plan_groups_are_canonically_sorted():
+    plan = ShardPlan(["c", "a", "b"], {("a", "b"): 0.1})
+    assert plan.groups == ("a", "b", "c")
+    assert plan.lookahead("a", "b") == 0.1
+    assert plan.lookahead("b", "a") == float("inf")
+    assert plan.row("a") == {"b": 0.1}
+
+
+def test_plan_rejects_bad_matrices():
+    with pytest.raises(ShardError):
+        ShardPlan([])
+    with pytest.raises(ShardError):
+        ShardPlan(["a", "a"])
+    with pytest.raises(ShardError):
+        ShardPlan(["a", "b"], {("a", "b"): 0.0})  # zero-delay coupling
+    with pytest.raises(ShardError):
+        ShardPlan(["a", "b"], {("a", "ghost"): 0.1})
+    with pytest.raises(ShardError):
+        ShardPlan(["a", "b"], {("a", "a"): 0.1})
+
+
+def test_single_group_plan_and_shards_validation():
+    plan = ShardPlan.single("grid")
+    assert plan.groups == ("grid",)
+    assert single_group_shards(4) == 1
+    assert single_group_shards(1) == 1
+    with pytest.raises(ShardError):
+        single_group_shards(0)
+
+
+# -- world-side channel API --------------------------------------------------
+
+
+def test_send_enforces_the_conservative_contract():
+    world = ShardWorld(Simulation(), "a", {"b": 0.5})
+    with pytest.raises(ShardError):
+        world.send("b", "ch", None, latency=0.4)  # undercuts lookahead
+    with pytest.raises(ShardError):
+        world.send("a", "ch", None, latency=0.5)  # to itself
+    with pytest.raises(ShardError):
+        world.send("ghost", "ch", None, latency=0.5)  # no channel
+    message = world.send("b", "ch", "ok", latency=0.5)
+    assert message.deliver_time == 0.5 and message.seq == 0
+    assert world.send("b", "ch", "ok", latency=0.7).seq == 1
+    world.close_outbound()
+    with pytest.raises(ShardError):
+        world.send("b", "ch", None, latency=0.5)
+
+
+def test_world_rejects_nonpositive_lookaheads_and_dup_handlers():
+    with pytest.raises(ShardError):
+        ShardWorld(Simulation(), "a", {"b": 0.0})
+    with pytest.raises(ShardError):
+        ShardWorld(Simulation(), "a", {"a": 0.5})
+    world = ShardWorld(Simulation(), "a", {})
+    world.on_message("ch", lambda w, m: None)
+    with pytest.raises(ShardError):
+        world.on_message("ch", lambda w, m: None)
+
+
+def test_world_rejects_started_recorder():
+    sim = Simulation()
+    recorder = FlightRecorder(sim, interval=1.0)
+    recorder.start()
+    with pytest.raises(ShardError):
+        ShardWorld(sim, "a", {}, recorder=recorder)
+
+
+def test_dispatch_without_handler_is_an_error():
+    world = ShardWorld(Simulation(), "a", {})
+    kernel = ShardKernel(world)
+    message = ShardMessage("a", "ghost", None, 1.0, 0.5, "b", 0)
+    with pytest.raises(ShardError):
+        kernel.round({"horizon": 2.0, "messages": [message]})
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def test_ring_is_identical_for_every_shard_count():
+    results = {shards: _run_ring(shards) for shards in (1, 2, 3)}
+    reference = results[1]
+    assert reference.messages_delivered == 9
+    assert reference.total_events > 0
+    for result in results.values():
+        assert result.rounds == reference.rounds
+        assert result.end_time == reference.end_time
+        for group in "abc":
+            assert result.data(group) == reference.data(group)
+            assert result.results[group]["now"] \
+                == reference.results[group]["now"]
+            assert result.results[group]["events"] \
+                == reference.results[group]["events"]
+
+
+def test_shards_cap_at_group_count():
+    result = _run_ring(16)
+    assert result.workers == 3
+    assert result.shards == 16
+
+
+def test_merged_metrics_equal_across_placements():
+    merged = {shards: _run_ring(shards).merged_metrics().to_json()
+              for shards in (1, 3)}
+    assert merged[1] == merged[3]
+    assert '"ring.tokens[a]"' in merged[1]
+
+
+def test_recorders_align_and_merge_across_shard_counts():
+    outs = {}
+    for shards in (1, 2):
+        result = _run_ring(shards, with_recorder=True)
+        merged = result.merged_recorder()
+        outs[shards] = merged.to_jsonl()
+        # Every shard sampled the identical heartbeat grid up to the
+        # global end, plus the final beat exactly at it.
+        times = [entry.time for entry in merged.entries]
+        assert times == sorted(times)
+        assert times[-1] == result.end_time
+    assert outs[1] == outs[2]
+
+
+def test_silent_worlds_terminate_without_rounds():
+    plan = ShardPlan.uniform(["a", "b"], 0.5)
+    engine = ShardedSimulation(build_silent_world, plan, shards=1)
+    result = engine.run()
+    assert result.rounds == 0
+    assert result.end_time == 0.0
+    assert result.data("a") == "silent"
+
+
+def test_boundary_delivery_at_exact_lookahead():
+    """deliver_time == horizon == a local event's time: the message
+    must land once, at its stamp, after the same-instant local event
+    (older queue entries fire first)."""
+    plan = ShardPlan(["a", "b"], {("a", "b"): 1.0})
+    for shards in (1, 2):
+        engine = ShardedSimulation(build_boundary_world, plan,
+                                   shards=shards)
+        result = engine.run()
+        assert result.data("b") == [("local", 2.0),
+                                    ("edge", 2.0, "on-the-boundary")]
+
+
+def test_worker_failure_propagates_with_context():
+    plan = ShardPlan.uniform(["a", "b"], 0.5)
+    engine = ShardedSimulation(build_exploding_world, plan, shards=2)
+    with pytest.raises(WorkerGroupError, match="boom in b"):
+        engine.run()
+    # Local mode surfaces the original exception directly.
+    engine = ShardedSimulation(build_exploding_world, plan, shards=1)
+    with pytest.raises(RuntimeError, match="boom in b"):
+        engine.run()
+
+
+def test_engine_rejects_unpicklable_builders():
+    plan = ShardPlan.single()
+    with pytest.raises(ShardError):
+        ShardedSimulation(lambda group, lookaheads: None, plan)
+    with pytest.raises(ShardError):
+        ShardedSimulation(build_silent_world, plan, shards=0)
+
+
+def test_round_robin_assignment_is_canonical():
+    plan = ShardPlan.uniform(["a", "b", "c", "d", "e"], 0.1)
+    engine = ShardedSimulation(build_silent_world, plan, shards=2)
+    assert engine._assignment() == [["a", "c", "e"], ["b", "d"]]
