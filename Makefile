@@ -2,7 +2,9 @@
 # static-analysis pass over src/ (per-file rules plus the `--deep`
 # interprocedural pass, ratcheted against analysis-baseline.json so
 # only NEW findings fail), the shardcheck shard-affinity pass (rules
-# R15-R19, which also regenerates docs/shard-safety.md), the tier-1
+# R15-R19, which also regenerates docs/shard-safety.md), the
+# scalecheck growth-dimension pass (rules R22-R26, which regenerates
+# docs/scale-readiness.md), the tier-1
 # test suite (which includes the workers=1 vs workers=N
 # parallel-determinism tests), the simsan runtime determinism
 # sanitizer over a reduced-scale scenario — plain and under the
@@ -12,12 +14,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint shardcheck baseline test parallel-determinism \
-	shard-determinism sanitize sanitize-shard trace-smoke \
-	record-smoke golden-guard bench bench-experiments experiments
+.PHONY: check lint shardcheck scalecheck baseline test \
+	parallel-determinism shard-determinism sanitize sanitize-shard \
+	trace-smoke record-smoke golden-guard bench bench-experiments \
+	experiments
 
-check: lint shardcheck test parallel-determinism shard-determinism \
-	sanitize sanitize-shard trace-smoke record-smoke golden-guard
+check: lint shardcheck scalecheck test parallel-determinism \
+	shard-determinism sanitize sanitize-shard trace-smoke \
+	record-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
@@ -30,6 +34,15 @@ shardcheck:
 	$(PYTHON) -m repro.analysis --shard src/repro \
 	    --baseline analysis-baseline.json \
 	    --shard-inventory docs/shard-safety.md
+
+# The growth-dimension pass (rules R22-R26) over the model tree,
+# under the same ratchet, regenerating the docs/scale-readiness.md
+# inventory — the work-list for the brokered task-queue layer
+# (ROADMAP item 2).
+scalecheck:
+	$(PYTHON) -m repro.analysis --scale src/repro \
+	    --baseline analysis-baseline.json \
+	    --scale-inventory docs/scale-readiness.md
 
 # Regenerate the findings baseline after paying down debt (the ratchet
 # only ever tightens: run this when `lint` reports stale entries, not

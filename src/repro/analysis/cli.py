@@ -2,20 +2,26 @@
 
 Usage::
 
-    python -m repro.analysis [PATH ...] [--deep] [--shard]
+    python -m repro.analysis [PATH ...] [--deep] [--shard] [--scale]
                              [--shard-inventory FILE]
+                             [--scale-inventory FILE]
                              [--format text|json|sarif]
                              [--select R1,R4] [--disable R3]
                              [--baseline FILE] [--write-baseline FILE]
-                             [--list-rules]
+                             [--list-rules] [--explain RULE]
 
 ``--deep`` adds the interprocedural pass (call graph + taint fixpoint,
 rules R11-R14; see :mod:`repro.analysis.dataflow`) on top of the
 per-file rules.  ``--shard`` adds the shard-affinity pass (ownership
 rules R15-R19; see :mod:`repro.analysis.shard`), and
 ``--shard-inventory FILE`` additionally regenerates the shard-safety
-inventory (``docs/shard-safety.md``) from the same model.
-``--format sarif`` emits SARIF 2.1.0 for CI ingestion.
+inventory (``docs/shard-safety.md``) from the same model.  ``--scale``
+adds the growth-dimension pass (complexity rules R22-R26; see
+:mod:`repro.analysis.scale`), and ``--scale-inventory FILE``
+regenerates the scale-readiness inventory (``docs/scale-readiness.md``)
+from the same model.  ``--explain R22`` prints one rule's full
+documentation — summary, rationale, fix pattern, suppression syntax —
+and exits.  ``--format sarif`` emits SARIF 2.1.0 for CI ingestion.
 ``--baseline`` filters findings down to the ones *not* recorded in a
 baseline file (the ratchet: legacy debt is absorbed, new findings
 fail); ``--write-baseline`` regenerates that file.
@@ -44,7 +50,7 @@ from repro.analysis.rules import default_rules
 from repro.analysis.sarif import render_sarif
 
 __all__ = ["build_parser", "main", "run_analysis", "run_deep_analysis",
-           "run_shard_analysis"]
+           "run_shard_analysis", "run_scale_analysis"]
 
 
 def _default_target() -> str:
@@ -71,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shard-inventory", default=None, metavar="FILE",
                         help="regenerate the shard-safety inventory at "
                              "FILE (implies --shard)")
+    parser.add_argument("--scale", action="store_true",
+                        help="also run the growth-dimension pass "
+                             "(rules R22-R26)")
+    parser.add_argument("--scale-inventory", default=None, metavar="FILE",
+                        help="regenerate the scale-readiness inventory at "
+                             "FILE (implies --scale)")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="print one rule's documentation (e.g. "
+                             "--explain R22) and exit")
     parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--select", default=None, metavar="RULES",
@@ -119,27 +134,67 @@ def _pick_shard_rules(select: Optional[str], disable: Optional[str]):
     return _filter_rules(shard_rules(), select, disable)
 
 
+def _pick_scale_rules(select: Optional[str], disable: Optional[str]):
+    from repro.analysis.scale import scale_rules
+
+    return _filter_rules(scale_rules(), select, disable)
+
+
 def run_analysis(paths: List[str], rules=None) -> List[Finding]:
     """Lint ``paths`` (or the repro package when empty)."""
     return Analyzer(rules).analyze_paths(paths or [_default_target()])
 
 
-def run_deep_analysis(paths: List[str], rules=None) -> List[Finding]:
-    """Run the interprocedural pass over ``paths``."""
-    from repro.analysis.dataflow import analyze_project
+def run_deep_analysis(paths: List[str], rules=None,
+                      project=None) -> List[Finding]:
+    """Run the interprocedural pass over ``paths``.
 
-    return analyze_project(paths or [_default_target()], rules=rules)
+    ``project`` is an optional pre-built
+    :class:`~repro.analysis.dataflow.symbols.ProjectModel`; the deep,
+    shard and scale passes all ride the same symbol table, so callers
+    running more than one pass parse the tree once and share it.
+    """
+    from repro.analysis.dataflow import analyze_project
+    from repro.analysis.dataflow.taint import TaintEngine
+
+    engine = None if project is None else TaintEngine(project).run()
+    return analyze_project(paths or [_default_target()], rules=rules,
+                           engine=engine)
 
 
 def run_shard_analysis(paths: List[str], rules=None,
-                       inventory: Optional[str] = None) -> List[Finding]:
+                       inventory: Optional[str] = None,
+                       project=None) -> List[Finding]:
     """Run the shard-affinity pass; optionally write the inventory."""
     from repro.analysis.shard import analyze_shard, build_shard_model
+    from repro.analysis.shard.model import ShardModel
 
-    model = build_shard_model(paths or [_default_target()])
+    if project is None:
+        model = build_shard_model(paths or [_default_target()])
+    else:
+        model = ShardModel(project)
     findings = analyze_shard(paths, rules=rules, model=model)
     if inventory:
         from repro.analysis.shard.inventory import write_inventory
+
+        write_inventory(model, inventory)
+    return findings
+
+
+def run_scale_analysis(paths: List[str], rules=None,
+                       inventory: Optional[str] = None,
+                       project=None) -> List[Finding]:
+    """Run the growth-dimension pass; optionally write the inventory."""
+    from repro.analysis.scale import analyze_scale, build_scale_model
+    from repro.analysis.scale.model import ScaleModel
+
+    if project is None:
+        model = build_scale_model(paths or [_default_target()])
+    else:
+        model = ScaleModel(project)
+    findings = analyze_scale(paths, rules=rules, model=model)
+    if inventory:
+        from repro.analysis.scale.inventory import write_inventory
 
         write_inventory(model, inventory)
     return findings
@@ -161,30 +216,54 @@ def _render_json(findings: List[Finding], stream) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.explain:
+        from repro.analysis.explain import explain_rule
+
+        try:
+            print(explain_rule(args.explain))
+        except KeyError:
+            print("simlint: unknown rule %r (try --list-rules)"
+                  % args.explain, file=sys.stderr)
+            return 2
+        return 0
     if args.shard_inventory:
         args.shard = True
+    if args.scale_inventory:
+        args.scale = True
     rules = _pick_rules(args.select, args.disable)
     deep = _pick_deep_rules(args.select, args.disable) if args.deep \
         else []
     shard = _pick_shard_rules(args.select, args.disable) if args.shard \
+        else []
+    scale = _pick_scale_rules(args.select, args.disable) if args.scale \
         else []
     if args.list_rules:
         for rule in rules:
             doc = (sys.modules[type(rule).__module__].__doc__ or "")
             headline = doc.strip().splitlines()[0] if doc.strip() else ""
             print("%s  %-16s %s" % (rule.code, rule.name, headline))
-        for rule in deep + shard:
+        for rule in deep + shard + scale:
             doc = (type(rule).__doc__ or "").strip()
             headline = doc.splitlines()[0] if doc else ""
             print("%s %-16s %s" % (rule.code, rule.name, headline))
         return 0
-    if not rules and not deep and not shard:
+    if not rules and not deep and not shard and not scale:
         print("simlint: no rules selected", file=sys.stderr)
         return 2
+    wants_deep = bool(args.deep and deep)
+    wants_shard = bool(args.shard and (shard or args.shard_inventory))
+    wants_scale = bool(args.scale and (scale or args.scale_inventory))
     try:
         findings = run_analysis(args.paths, rules) if rules else []
         merged = {(f.path, f.line, f.col, f.code, f.message)
                   for f in findings}
+        project = None
+        if wants_deep + wants_shard + wants_scale >= 2:
+            # The project-model passes all start from the same parsed
+            # symbol table; build it once instead of once per pass.
+            from repro.analysis.dataflow.symbols import build_project
+
+            project = build_project(args.paths or [_default_target()])
 
         def _fold(extra: List[Finding]) -> None:
             for finding in extra:
@@ -194,11 +273,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                     merged.add(key)
                     findings.append(finding)
 
-        if args.deep and deep:
-            _fold(run_deep_analysis(args.paths, deep))
-        if args.shard and (shard or args.shard_inventory):
+        if wants_deep:
+            _fold(run_deep_analysis(args.paths, deep, project=project))
+        if wants_shard:
             _fold(run_shard_analysis(args.paths, shard,
-                                     inventory=args.shard_inventory))
+                                     inventory=args.shard_inventory,
+                                     project=project))
+        if wants_scale:
+            _fold(run_scale_analysis(args.paths, scale,
+                                     inventory=args.scale_inventory,
+                                     project=project))
         findings.sort(key=lambda f: f.sort_key)
     except OSError as exc:
         print("simlint: cannot read %s: %s"
@@ -222,7 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.format == "json":
         _render_json(findings, sys.stdout)
     elif args.format == "sarif":
-        sys.stdout.write(render_sarif(findings, rules + deep + shard))
+        sys.stdout.write(render_sarif(findings,
+                                      rules + deep + shard + scale))
     else:
         _render_text(findings, sys.stdout)
     return 1 if findings else 0

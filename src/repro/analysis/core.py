@@ -89,7 +89,7 @@ class RuleContext:
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 self.parents[child] = parent
-        self._generator_cache: Dict[ast.AST, bool] = {}
+        self._generator_cache: Dict[ast.AST, bool] = {}  # simlint: disable=R23  one entry per function node in the analyzed file, freed with the context
 
     def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
         """The nearest FunctionDef/AsyncFunctionDef containing ``node``."""

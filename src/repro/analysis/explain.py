@@ -1,0 +1,388 @@
+"""Structured rule documentation behind ``--explain R<id>``.
+
+``repro analyze --explain R22`` prints one rule's full story — the
+one-line summary the finding message compresses, why the rule exists,
+the sanctioned fix pattern, and the exact suppression syntax — without
+running any analysis.  The entries here are the narrative companions
+to the machine-checkable rules; the authoritative reference prose
+lives in ``docs/static_analysis.md`` and each rule module's docstring.
+
+The table is keyed by code (``R22``) and by name
+(``per-event-linear-scan``), case-insensitively, so both spellings a
+finding line shows are accepted.  :func:`explain_rule` raises
+``KeyError`` for anything else; the CLI turns that into exit status 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+__all__ = ["RuleDoc", "RULE_DOCS", "explain_rule", "all_rule_codes"]
+
+
+class RuleDoc(NamedTuple):
+    """One rule's documentation record."""
+
+    code: str
+    name: str
+    passname: str       # which flag enables it
+    summary: str        # one line, matches --list-rules
+    rationale: str      # why the pattern is a defect here
+    fix: str            # the sanctioned remediation pattern
+    example: str        # a suppression line with required prose
+
+
+def _doc(code: str, name: str, passname: str, summary: str,
+         rationale: str, fix: str, example: str) -> RuleDoc:
+    return RuleDoc(code, name, passname, summary, rationale, fix,
+                   example)
+
+
+_DOCS: List[RuleDoc] = [
+    _doc(
+        "E0", "parse-error", "(always on)",
+        "a file under analysis does not parse.",
+        "Every pass needs an AST; a syntax error hides every other "
+        "finding in the file, so it is reported as a finding itself "
+        "rather than crashing the run.",
+        "Fix the syntax error.  E0 cannot be suppressed.",
+        "(not suppressible)"),
+    _doc(
+        "R1", "global-random", "per-file",
+        "every random draw must come from a RandomStreams stream.",
+        "The global `random` module shares one hidden generator across "
+        "the process: any new caller perturbs every existing "
+        "consumer's draws, and a literal-seeded private Random(0) "
+        "gives every component correlated draws that cannot be varied "
+        "per run.",
+        "Take an injected repro.simulation.randomness.RandomStreams "
+        "stream (`streams.stream(\"component\")`) and draw from it.",
+        "rng = random.Random(0)  # simlint: disable=R1 test fixture, "
+        "never reaches sim state"),
+    _doc(
+        "R2", "wall-clock", "per-file",
+        "simulated time must never come from the wall clock.",
+        "A discrete-event model has exactly one clock, sim.now.  "
+        "time.time()/datetime.now() in model code couples results to "
+        "host speed — the cardinal reproducibility sin.",
+        "Use sim.now inside the model; wall-clock reads belong only "
+        "in harness code reporting real elapsed time.",
+        "t0 = time.time()  # simlint: disable=R2 harness wall-time "
+        "report only"),
+    _doc(
+        "R3", "set-iteration", "per-file",
+        "never iterate a set where order can reach the event queue.",
+        "Set order depends on hash values, which differ per process "
+        "start; any set iteration that schedules events or draws "
+        "randoms destroys run-to-run reproducibility.  list() does "
+        "not help — only sorted() or an insertion-ordered dict does.",
+        "Iterate sorted(the_set), or replace the set with a dict used "
+        "as an ordered set (`d[x] = None`).",
+        "for h in hosts:  # simlint: disable=R3 hosts is "
+        "sorted-on-insert upstream"),
+    _doc(
+        "R4", "lost-event", "per-file",
+        "an event that is neither yielded nor stored is lost.",
+        "`self.sim.timeout(q)` as a bare statement schedules a "
+        "timeout nobody observes: the process continues at the same "
+        "instant and the model silently loses time.  The most common "
+        "DES typo; it never raises.",
+        "Yield the event (`yield sim.timeout(q)`), store it, or "
+        "compose it with all_of/any_of.",
+        "sim.timeout(0)  # simlint: disable=R4 deliberate queue-depth "
+        "probe, result unused"),
+    _doc(
+        "R5", "blocking-call", "per-file",
+        "simulation processes must not block the host.",
+        "A process is a generator resumed by the event loop; "
+        "time.sleep() stalls the whole simulation without advancing "
+        "sim.now, and blocking I/O couples the run to the outside "
+        "world.",
+        "Replace sleeps with `yield sim.timeout(...)`; move I/O out "
+        "of process bodies into harness code.",
+        "time.sleep(0.1)  # simlint: disable=R5 demo pacing in "
+        "example script, not a model"),
+    _doc(
+        "R6", "float-time-eq", "per-file",
+        "float simulation time must not be compared with ==.",
+        "Timestamps are floats accumulated through arithmetic; two "
+        "logically simultaneous times routinely differ in the last "
+        "ulp, so == works on one machine and silently fails on "
+        "another.",
+        "Compare with an epsilon (`abs(a - b) <= EPS`) or let the "
+        "kernel's event ordering make the decision.",
+        "if t == deadline:  # simlint: disable=R6 deadline is copied "
+        "from t, bit-identical by construction"),
+    _doc(
+        "R7", "mutable-default", "per-file",
+        "mutable default arguments leak state between simulation runs.",
+        "A default like `results=[]` is evaluated once at import and "
+        "shared by every call — the second run sees the first run's "
+        "residue, which is fatal and invisible for a stack whose "
+        "claim is seed-identical replay.",
+        "Default to None and allocate inside the function.",
+        "def run(self, out=CACHE):  # simlint: disable=R7 "
+        "module-constant sentinel, never mutated"),
+    _doc(
+        "R8", "heap-key", "per-file",
+        "heap entries must have a total order.",
+        "heapq falls through to comparing payloads when leading tuple "
+        "elements tie; `(when, event)` works until two events share a "
+        "timestamp, then raises TypeError mid-run or orders by id() "
+        "nondeterministically.",
+        "Push `(time, priority, monotonic_id, payload)` — a unique "
+        "integer tie-breaker before the payload, as the kernel queue "
+        "does.",
+        "heappush(q, (t, job))  # simlint: disable=R8 job is an int "
+        "rank, totally ordered"),
+    _doc(
+        "R9", "bare-print", "per-file",
+        "model code must not print; report through tracer/metrics.",
+        "print() bypasses the tracer and metrics registry, "
+        "interleaves arbitrarily with harness output, and tempts "
+        "callers into parsing stdout.",
+        "Emit a span/instant/counter, or return the value; only CLI "
+        "front ends and the report formatter write to stdout.",
+        "print(table)  # simlint: disable=R9 CLI front end, stdout "
+        "is the product"),
+    _doc(
+        "R10", "pool-size", "per-file",
+        "worker count and worker identity must never influence "
+        "results.",
+        "The replication runner fans worlds across a process pool; "
+        "the moment a seed or loop bound derives from cpu_count()/"
+        "getpid(), workers=1 and workers=N diverge and every "
+        "determinism guarantee is void.",
+        "Derive everything from the root seed; size pools only in "
+        "harness code with a suppression.",
+        "n = os.cpu_count()  # simlint: disable=R10 harness pool "
+        "sizing only, never reaches seeds"),
+    _doc(
+        "R11", "tainted-sim-state", "--deep",
+        "host nondeterminism flowing into sim state (cross-function).",
+        "time.time()/os.environ/hash() values that travel through "
+        "helper returns into event payloads or model attributes make "
+        "two same-seed runs diverge, even when the read and the write "
+        "are in different functions.",
+        "Cut the flow: derive the value from sim.now, the root seed, "
+        "or configuration instead.",
+        "stamp = self._host_id()  # simlint: disable=R11 diagnostic "
+        "label only, never ordered on"),
+    _doc(
+        "R12", "rng-stream-escape", "--deep",
+        "a named RNG stream re-seeded or forked non-derivably.",
+        "RandomStreams guarantees per-name independence only while "
+        "streams are derived through its API; re-seeding one from "
+        "arbitrary data or aliasing it out re-couples draws across "
+        "components.",
+        "Always obtain streams via streams.stream(name) and never "
+        "call .seed() on one.",
+        "s.seed(n)  # simlint: disable=R12 n is itself derived from "
+        "the root seed upstream"),
+    _doc(
+        "R13", "helper-event-discarded", "--deep",
+        "discarding the Event returned (transitively) by a helper.",
+        "A helper that returns sim.timeout(...)'s event is an R4 "
+        "hazard one call away: invoking it as a bare statement loses "
+        "the event just as surely, and the per-file rule cannot see "
+        "it.",
+        "Yield or store the helper's return value; rename helpers "
+        "that intentionally fire-and-forget so they return None.",
+        "self._kick()  # simlint: disable=R13 _kick schedules via "
+        "call_at internally, return is advisory"),
+    _doc(
+        "R14", "unordered-key-taint", "--deep",
+        "hash/filesystem iteration order reaching keys or output.",
+        "os.listdir()/glob() order and set/dict-over-hash order vary "
+        "across hosts; when such an ordering reaches event keys or "
+        "artifact rows, byte-identical output is impossible.",
+        "sorted() at the source, before the order can propagate.",
+        "names = os.listdir(d)  # simlint: disable=R14 sorted() two "
+        "lines below before use"),
+    _doc(
+        "R15", "process-global-mutable-state", "--shard",
+        "a module/class-level mutable that is written at runtime.",
+        "Shards of one world run in separate processes; state hiding "
+        "in module globals silently diverges between them and between "
+        "consecutive runs in one process.",
+        "Move the state onto an object owned by one shard (usually "
+        "the Simulation or a component keyed by it).",
+        "_REGISTRY: List[...] = []  # simlint: disable=R15 "
+        "import-time append-only plugin registry"),
+    _doc(
+        "R16", "cross-entity-direct-mutation", "--shard",
+        "host-family code mutating a site-family object, or back.",
+        "The shard partition follows the host/site entity families; "
+        "a direct attribute write across that line bypasses the "
+        "message channel and breaks the partition's determinism "
+        "contract.",
+        "Send a message (or call a method on the owning side) instead "
+        "of reaching into the other family's attributes.",
+        "site.load = x  # simlint: disable=R16 single-shard "
+        "configuration phase, before the clock starts"),
+    _doc(
+        "R17", "unkeyed-process-cache", "--shard",
+        "memo state whose lifetime is the process, not a simulation.",
+        "A cache keyed only by input values survives across "
+        "simulations in one process; the second run hits entries the "
+        "first run warmed, so workers=1 vs workers=N (fresh "
+        "processes) diverge.",
+        "Key the cache by the owning Simulation (or store it on one).",
+        "_memo = {}  # simlint: disable=R17 pure function of inputs, "
+        "value identity never observed"),
+    _doc(
+        "R18", "non-mergeable-accumulator", "--shard",
+        "a sample-taking stats class without a deterministic merge.",
+        "Per-shard statistics must merge into the single-world answer "
+        "after the run; an accumulator with no merge() forces "
+        "order-dependent recombination or silent dropping.",
+        "Implement merge(other) with an order-independent "
+        "formulation, as the t-digest and counter classes do.",
+        "class Peak:  # simlint: disable=R18 max() is trivially "
+        "merge-order-independent"),
+    _doc(
+        "R19", "shared-event-queue-escape", "--shard",
+        "events pushed onto a timeline the caller does not own.",
+        "Scheduling onto another shard's kernel bypasses the stamped "
+        "channel; the event lands in a different barrier round on "
+        "every run.",
+        "Route cross-shard work through ShardWorld.send().",
+        "other.sim.call_at(t, f)  # simlint: disable=R19 both worlds "
+        "verified same-shard by the caller"),
+    _doc(
+        "R20", "unbounded-collector", "per-file",
+        "streaming collectors must make a retention choice.",
+        "A TimeSeriesMonitor with neither window= nor max_samples= "
+        "keeps every sample forever — the classic slow leak invisible "
+        "at paper scale and fatal on steady-state runs.",
+        "Pass a retention bound, or an explicit window=None to state "
+        "that full history is the product.",
+        "mon = TimeSeriesMonitor(sim)  # simlint: disable=R20 "
+        "fixture asserts on full history"),
+    _doc(
+        "R21", "cross-shard-access", "per-file",
+        "cross-shard kernel access must go through the channel API.",
+        "Reaching through a world handle (`world.sim.call_at(...)`) "
+        "mutates a shard's queue without a stamp; the mutation's "
+        "effect depends on which barrier round carries it.",
+        "Use ShardWorld.send()/on_message(); read-only "
+        "`.sim.now`/`.sim.peek()` stays allowed.",
+        "world.sim.schedule(e)  # simlint: disable=R21 single-shard "
+        "unit test, no barrier in play"),
+    _doc(
+        "R22", "per-event-linear-scan", "--scale",
+        "O(population) iteration inside per-event code.",
+        "A loop or comprehension over a per-session-dimensioned "
+        "collection inside the per-event hot set (simulation "
+        "processes, kernel drains, and their call closure) does O(n) "
+        "work per event — O(n^2) per scenario.  At a million sessions "
+        "that is the difference between minutes and weeks.",
+        "Index the lookup (dict keyed by what the scan searches for) "
+        "or maintain the derived quantity incrementally (running "
+        "totals, per-key buckets).  The sanctioned examples: "
+        "VirtualMachineMonitor's name index and resident-memory "
+        "running total.",
+        "for vm in self.vms:  # simlint: disable=R22 teardown path, "
+        "runs once per scenario not per event"),
+    _doc(
+        "R23", "unbounded-growth-container", "--scale",
+        "population state that grows per event and is never evicted.",
+        "A collection that gains an entry on a hot path and has no "
+        "shrink site anywhere in the tree holds memory proportional "
+        "to total sessions processed.  Generalizes R20 from obs "
+        "collectors to arbitrary model state: registries, logs, "
+        "per-key memo dicts.",
+        "Evict on completion (delete the key when the session/VM "
+        "ends), bound the container (deque(maxlen=...) is recognised "
+        "as bounded), or stream aggregates instead of retaining raw "
+        "entries.",
+        "self.log: List[Transfer] = []  # simlint: disable=R23 "
+        "experiment-lifetime artifact, sized by the scenario not the "
+        "steady state"),
+    _doc(
+        "R24", "quadratic-membership", "--scale",
+        "linear membership probes and sorted passes over population.",
+        "`x in population_list` is a linear scan per test — run once "
+        "per session it is quadratic in the population.  Likewise "
+        "sorted()/min()/max() over a population collection inside a "
+        "loop repeats a full ordered pass per iteration.",
+        "Key membership as a dict/set (an insertion-ordered dict "
+        "preserves determinism where a set would not); hoist ordered "
+        "passes out of loops or track the extremum incrementally.",
+        "if name in self._names:  # simlint: disable=R24 list is "
+        "capped at 8 by admission control above"),
+    _doc(
+        "R25", "per-event-allocation", "--scale",
+        "fresh containers/closures built inside kernel drain loops.",
+        "The kernel's drain loops (step/_run_fast and the "
+        "succeed/fail/_resume chain) execute once per event — the "
+        "single hottest code in the system.  A dict/list/set display, "
+        "comprehension, lambda or nested def inside one of their "
+        "loops costs an allocation per drained event.",
+        "Hoist the allocation out of the loop, reuse a scratch "
+        "object, or restructure so the container is built once per "
+        "call, not per iteration.",
+        "errs = []  # simlint: disable=R25 only reachable on the "
+        "failure path, empty in steady state"),
+    _doc(
+        "R26", "rebuild-in-hot-path", "--scale",
+        "memoized structures recomputed per event, not per epoch.",
+        "A cache/memo-named structure rebuilt from scratch "
+        "(comprehension or refill/rebuild/recompute call) on every "
+        "invocation of a hot function does the work memoization was "
+        "meant to save.  The cache must be rebuilt at most once per "
+        "invalidation epoch.",
+        "Guard the rebuild: `if self._cache is None: self._cache = "
+        "self._refill()`, invalidating (set to None, or bump an "
+        "epoch counter) only where the inputs change — the "
+        "FlowEngine._allocate/_refill pair is the sanctioned example.",
+        "self._view = self._rebuild()  # simlint: disable=R26 inputs "
+        "change on every call by construction, nothing to memoize"),
+]
+
+#: code -> doc and name -> doc, both lower-cased.  Filled once at
+#: import, read-only afterwards.  # simlint: disable-file=R15
+RULE_DOCS: Dict[str, RuleDoc] = {}
+for _entry in _DOCS:
+    RULE_DOCS[_entry.code.lower()] = _entry
+    RULE_DOCS[_entry.name.lower()] = _entry
+
+
+def all_rule_codes() -> List[str]:
+    """Every documented code, R-number order (E0 first)."""
+    seen = []
+    for entry in _DOCS:
+        if entry.code not in seen:
+            seen.append(entry.code)
+    return seen
+
+
+def explain_rule(rule: str) -> str:
+    """The full documentation text for ``rule`` (code or name).
+
+    Raises ``KeyError`` when the rule is unknown.
+    """
+    doc = RULE_DOCS[rule.strip().lower()]
+    lines = [
+        "%s  %s  [%s pass]" % (doc.code, doc.name, doc.passname),
+        "",
+        "Summary:",
+        "  " + doc.summary,
+        "",
+        "Why it matters:",
+        "  " + doc.rationale,
+        "",
+        "Fix pattern:",
+        "  " + doc.fix,
+        "",
+        "Suppression:",
+        "  append `# simlint: disable=%s <why it is safe>` to the "
+        "line," % doc.code,
+        "  or `# simlint: disable-file=%s <why>` anywhere for the "
+        "whole file;" % doc.code,
+        "  the trailing prose is required and should say why, e.g.:",
+        "    " + doc.example,
+        "",
+        "See: docs/static_analysis.md",
+    ]
+    return "\n".join(lines)

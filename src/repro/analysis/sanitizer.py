@@ -99,11 +99,11 @@ class DeterminismSanitizer(Tracer):
 
     def __init__(self):
         self.sim = None
-        self.hazards: List[Hazard] = []
+        self.hazards: List[Hazard] = []  # simlint: disable=R23  the sanitizer's product: a hazard report sized by defects found, not by events
         self._finished = False
         # H1: per-instant map id(condition) -> ((when, priority), cond).
         self._cond_fires: Dict[int, Tuple[Tuple[float, int], Any]] = {}
-        self._reported_conds: Set[int] = set()
+        self._reported_conds: Set[int] = set()  # simlint: disable=R23  dedupe keys for reported hazards; bounded by the hazard report itself
         # Scheduled-entry bookkeeping: id(event) -> (when, priority).
         self._sched: Dict[int, Tuple[float, int]] = {}
         # H2: id(process) -> (process, {id(request): request}).

@@ -1,0 +1,270 @@
+"""The growth-dimension rules R22–R26 (the ``--scale`` pass).
+
+Where R15–R19 chase *ownership* (who may touch state), these five
+rules chase *complexity*: per-event work or memory that is
+proportional to the session population, the failure mode that turns a
+million-session run into a quadratic crawl.  Each rule reads the
+:class:`~repro.analysis.scale.model.ScaleModel` — inferred growth
+dimensions plus the per-event hot set — and reports at most one
+finding per (collection, function) pair, so one suppression comment
+covers one remediation decision.
+
+* **R22** ``per-event-linear-scan`` — a loop or comprehension over a
+  population-dimensioned collection inside a hot function: O(n) work
+  per event, O(n²) per scenario.  Index the lookup or maintain the
+  derived result incrementally.
+* **R23** ``unbounded-growth-container`` — a population-dimensioned
+  container that grows on a hot path and is never shrunk anywhere in
+  the project: memory proportional to total events processed.
+  Generalizes R20 (unbounded obs collectors) to arbitrary model state.
+* **R24** ``quadratic-membership`` — ``x in <list>`` against a
+  population-dimensioned *list* on a hot path or inside a loop (a
+  linear probe per test), or ``sorted()``/``min()``/``max()`` over a
+  population collection inside a loop (a full ordered pass per
+  iteration).
+* **R25** ``per-event-allocation`` — a fresh dict/list/set,
+  comprehension, lambda or nested def built inside a loop in a kernel
+  drain method: allocator pressure on the single hottest path in the
+  system.
+* **R26** ``rebuild-in-hot-path`` — a cache/memo-named structure
+  recomputed from scratch (comprehension or ``refill``/``rebuild``/
+  ``recompute``-shaped call) inside a hot function without an
+  invalidation guard.  The sanctioned pattern rebuilds at most once
+  per invalidation epoch behind an ``if ... is None`` / epoch test.
+
+Scale rules register with :func:`register_scale` and yield the same
+:class:`~repro.analysis.core.Finding` objects as every other pass, so
+suppressions, SARIF export and the baseline ratchet apply unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple, Type
+
+from repro.analysis.core import Finding
+from repro.analysis.scale.model import (
+    POPULATION,
+    ScaleModel,
+    UseSite,
+)
+
+__all__ = ["ScaleRule", "register_scale", "scale_rules",
+           "registered_scale_rule_classes",
+           "PerEventLinearScanRule", "UnboundedGrowthContainerRule",
+           "QuadraticMembershipRule", "PerEventAllocationRule",
+           "RebuildInHotPathRule"]
+
+#: Import-time registry of scale rule classes; append-only, populated
+#: by the ``register_scale`` decorations below and never written after
+#: import.  # simlint: disable-file=R15
+_SCALE_REGISTRY: List[Type["ScaleRule"]] = []
+
+
+def register_scale(rule_class: Type["ScaleRule"]) -> Type["ScaleRule"]:
+    """Class decorator: add a ScaleRule subclass to the scale rule set."""
+    if not (isinstance(rule_class, type)
+            and issubclass(rule_class, ScaleRule)):
+        raise TypeError("register_scale() expects a ScaleRule subclass, "
+                        "got %r" % (rule_class,))
+    if any(existing.code == rule_class.code
+           for existing in _SCALE_REGISTRY):
+        raise ValueError("duplicate scale rule code %s" % rule_class.code)
+    _SCALE_REGISTRY.append(rule_class)
+    return rule_class
+
+
+def registered_scale_rule_classes() -> List[Type["ScaleRule"]]:
+    """The registered classes, sorted by code."""
+    return sorted(_SCALE_REGISTRY,
+                  key=lambda cls: (len(cls.code), cls.code))
+
+
+def scale_rules() -> List["ScaleRule"]:
+    """Fresh instances of every registered scale rule."""
+    return [cls() for cls in registered_scale_rule_classes()]
+
+
+class ScaleRule:
+    """Base class for growth-dimension rules.
+
+    Subclasses set ``code``/``name`` and implement :meth:`check_model`,
+    yielding :class:`~repro.analysis.core.Finding` objects over a
+    :class:`~repro.analysis.scale.model.ScaleModel`.
+    """
+
+    code: str = "R0"
+    name: str = "abstract-scale-rule"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        """Yield findings over the growth-dimension model."""
+        return iter(())  # pragma: no cover
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0) + 1,
+                       self.code, self.name, message)
+
+    def __repr__(self) -> str:
+        return "<ScaleRule %s %s>" % (self.code, self.name)
+
+
+def _by_function(sites: List[UseSite]) -> List[Tuple[str, List[UseSite]]]:
+    """Sites grouped per enclosing function, module level excluded."""
+    grouped: Dict[str, List[UseSite]] = {}
+    for site in sites:
+        if site.function is None:
+            continue
+        grouped.setdefault(site.function.qualname, []).append(site)
+    result = []
+    for qualname in sorted(grouped):
+        group = sorted(grouped[qualname],
+                       key=lambda s: (s.module.path,
+                                      getattr(s.node, "lineno", 1)))
+        result.append((qualname, group))
+    return result
+
+
+def _extra(count: int) -> str:
+    return "" if count == 1 else " and %d more site(s)" % (count - 1)
+
+
+@register_scale
+class PerEventLinearScanRule(ScaleRule):
+    """R22: O(population) iteration inside per-event code."""
+
+    code = "R22"
+    name = "per-event-linear-scan"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        for collection in model.sorted_collections():
+            if collection.dimension != POPULATION:
+                continue
+            for qualname, sites in _by_function(collection.scans):
+                if not model.is_hot(qualname):
+                    continue
+                first = sites[0]
+                yield self.finding(
+                    first.module.path, first.node,
+                    "%s iterates %s-dimensioned %r (%s) on a per-event "
+                    "path (%s)%s — O(population) work per event; index "
+                    "the lookup or maintain the result incrementally"
+                    % (qualname, collection.dimension, collection.label,
+                       collection.why, model.hot[qualname],
+                       _extra(len(sites))))
+
+
+@register_scale
+class UnboundedGrowthContainerRule(ScaleRule):
+    """R23: population state that grows per event and is never evicted."""
+
+    code = "R23"
+    name = "unbounded-growth-container"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        for collection in model.sorted_collections():
+            if collection.dimension != POPULATION or collection.shrinks:
+                continue
+            hot_grows = [site for site in collection.grows
+                         if site.function is not None
+                         and model.is_hot(site.function.qualname)]
+            if not hot_grows:
+                continue
+            first = min(hot_grows,
+                        key=lambda s: (s.module.path,
+                                       getattr(s.node, "lineno", 1)))
+            yield self.finding(
+                collection.module.path, collection.node,
+                "%s %r grows per event at %s%s and is never shrunk — "
+                "memory is O(total sessions); evict on completion, "
+                "bound it, or stream aggregates instead (generalizes "
+                "R20)" % (collection.kind, collection.label, first.where,
+                          _extra(len(hot_grows))))
+
+
+@register_scale
+class QuadraticMembershipRule(ScaleRule):
+    """R24: linear membership probes and sorted passes over population."""
+
+    code = "R24"
+    name = "quadratic-membership"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        for collection in model.sorted_collections():
+            if collection.dimension != POPULATION:
+                continue
+            if collection.kind in ("list", "deque"):
+                for qualname, sites in _by_function(
+                        collection.memberships):
+                    live = [s for s in sites
+                            if s.in_loop or model.is_hot(qualname)]
+                    if not live:
+                        continue
+                    yield self.finding(
+                        live[0].module.path, live[0].node,
+                        "%s probes membership in %s %r (%s) — a linear "
+                        "scan per test, quadratic once per session%s; "
+                        "key it as a dict/set"
+                        % (qualname, collection.kind, collection.label,
+                           collection.why, _extra(len(live))))
+            for qualname, sites in _by_function(collection.sorts):
+                live = [s for s in sites if s.in_loop]
+                if not live:
+                    continue
+                yield self.finding(
+                    live[0].module.path, live[0].node,
+                    "%s runs %s() over %s-dimensioned %r inside a loop "
+                    "— a full O(n log n) pass per iteration%s; hoist "
+                    "it or keep the extremum incrementally"
+                    % (qualname, live[0].how, collection.dimension,
+                       collection.label, _extra(len(live))))
+
+
+@register_scale
+class PerEventAllocationRule(ScaleRule):
+    """R25: fresh containers/closures built inside kernel drain loops."""
+
+    code = "R25"
+    name = "per-event-allocation"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        grouped: Dict[str, List] = {}
+        for site in model.kernel_allocs:
+            grouped.setdefault(site.function.qualname, []).append(site)
+        for qualname in sorted(grouped):
+            sites = sorted(grouped[qualname],
+                           key=lambda s: (s.function.module.path,
+                                          getattr(s.node, "lineno", 1)))
+            first = sites[0]
+            kinds = sorted({site.what for site in sites})
+            yield self.finding(
+                first.function.module.path, first.node,
+                "kernel drain method %s builds a fresh %s inside its "
+                "event loop%s — one allocation per drained event; "
+                "hoist it out of the loop or reuse a scratch object"
+                % (qualname, "/".join(kinds), _extra(len(sites))))
+
+
+@register_scale
+class RebuildInHotPathRule(ScaleRule):
+    """R26: memoized structures recomputed per event, not per epoch."""
+
+    code = "R26"
+    name = "rebuild-in-hot-path"
+
+    def check_model(self, model: ScaleModel) -> Iterator[Finding]:
+        sites = sorted(model.rebuild_sites,
+                       key=lambda s: (s.function.module.path,
+                                      getattr(s.node, "lineno", 1)))
+        for site in sites:
+            if site.guarded:
+                continue
+            yield self.finding(
+                site.function.module.path, site.node,
+                "%s rebuilds %r from scratch on every invocation of a "
+                "per-event path (%s) — rebuild at most once per "
+                "invalidation epoch: guard with `if ... is None` or an "
+                "epoch/generation check"
+                % (site.function.qualname, site.target,
+                   model.hot.get(site.function.qualname,
+                                 "per-event path")))

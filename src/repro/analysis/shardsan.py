@@ -71,11 +71,11 @@ class ShardAffinitySanitizer(DeterminismSanitizer):
         self.host_partition: Dict[str, str] = {}
         #: Informational cross-partition records (positive-delay event
         #: deliveries, foreign resource acquisitions); never fail a run.
-        self.crossings: List[Hazard] = []
+        self.crossings: List[Hazard] = []  # simlint: disable=R23  the sanitizer's product: one row per affinity violation found
         # id(event) -> (origin partition, scheduling delay).
         self._event_origin: Dict[int, Tuple[Optional[str], float]] = {}
         # id(resource) -> (resource, partition of first toucher).
-        self._resource_owner: Dict[int, Tuple[Any, Optional[str]]] = {}
+        self._resource_owner: Dict[int, Tuple[Any, Optional[str]]] = {}  # simlint: disable=R23  first-writer ownership map; must span the whole run to catch late crossings
         # id(accumulator) -> partition observed at first merge contact.
         self._merge_home: Dict[int, Optional[str]] = {}
 

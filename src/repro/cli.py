@@ -12,8 +12,9 @@ Usage::
     python -m repro migration
     python -m repro all
     python -m repro analyze [--path SRC ...] [--deep] [--shard]
-                            [--shard-inventory FILE] [--json | --sarif]
-                            [--baseline FILE]
+                            [--scale] [--shard-inventory FILE]
+                            [--scale-inventory FILE] [--explain RULE]
+                            [--json | --sarif] [--baseline FILE]
     python -m repro sanitize {figure1,table1,table2} [--seed N]
                              [--shard-model {site,host}]
     python -m repro trace {figure1,table1,table2} [--out trace.json]
@@ -27,9 +28,12 @@ Usage::
 Each experiment command prints the same tables the benchmark harness
 archives; ``analyze`` runs the simlint static-analysis pass (see
 ``docs/static_analysis.md``) and exits non-zero on findings —
-``--deep`` adds the interprocedural dataflow rules R11-R14 and
+``--deep`` adds the interprocedural dataflow rules R11-R14,
 ``--shard`` the shard-affinity rules R15-R19 (``--shard-inventory``
-also regenerates ``docs/shard-safety.md``).
+also regenerates ``docs/shard-safety.md``) and ``--scale`` the
+growth-dimension rules R22-R26 (``--scale-inventory`` also regenerates
+``docs/scale-readiness.md``); ``--explain R22`` prints one rule's full
+documentation.
 ``sanitize`` replays a scenario under the simsan runtime determinism
 sanitizer and exits non-zero on hazards or output divergence;
 ``--shard-model site|host`` swaps in the shard-affinity sanitizer,
@@ -78,7 +82,8 @@ __all__ = ["main"]
 def _cmd_table1(args) -> None:
     from repro.experiments.table1 import run_table1
 
-    rows = run_table1(scale=args.scale, seed=args.seed)
+    scale = float(args.scale) if args.scale is not None else 1.0
+    rows = run_table1(scale=scale, seed=args.seed)
     print(format_table(
         ["Application", "Resource", "User(s)", "Sys(s)", "Total(s)",
          "Overhead"],
@@ -283,6 +288,12 @@ def _cmd_analyze(args) -> int:
         argv.append("--shard")
     if args.shard_inventory:
         argv.append("--shard-inventory=%s" % args.shard_inventory)
+    if args.scale is not None:
+        argv.append("--scale")
+    if args.scale_inventory:
+        argv.append("--scale-inventory=%s" % args.scale_inventory)
+    if args.explain:
+        argv.append("--explain=%s" % args.explain)
     if args.sarif:
         argv.append("--format=sarif")
     elif args.json:
@@ -379,8 +390,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace: output file "
                              "(default <target>-trace.json); "
                              "fleet: merged flight-record JSONL path")
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="table1: application scale factor")
+    parser.add_argument("--scale", nargs="?", const="1", default=None,
+                        metavar="FACTOR",
+                        help="table1: application scale factor "
+                             "(default 1.0); analyze: add the "
+                             "growth-dimension pass (rules R22-R26)")
+    parser.add_argument("--scale-inventory", default=None, metavar="FILE",
+                        help="analyze: regenerate the scale-readiness "
+                             "inventory at FILE (implies --scale)")
+    parser.add_argument("--explain", default=None, metavar="RULE",
+                        help="analyze: print one rule's documentation "
+                             "(e.g. --explain R22) and exit")
     parser.add_argument("--samples", type=int, default=None,
                         help="table2/figure1: sample count")
     parser.add_argument("--path", action="append", default=None,

@@ -74,7 +74,7 @@ class VirtualGrid:
         self._image_servers: Dict[str, ImageServer] = {}
         self._data_servers: Dict[str, UserDataServer] = {}
         self._gateways: Dict[str, str] = {}
-        self._image_proxies: Dict[tuple, object] = {}
+        self._image_proxies: Dict[tuple, object] = {}  # simlint: disable=R23  keyed by (host, image server): bounded by topology, not by sessions
 
     # -- topology -----------------------------------------------------------------
 

@@ -75,6 +75,9 @@ class DhcpServer:
         if lease.address not in self._leases or not lease.active:
             raise SimulationError("lease %s is not active" % lease.address)
         lease.released_at = self.sim.now
+        # Evict the spent lease: the table tracks holders, not history,
+        # so its size follows the live population, not total churn.
+        del self._leases[lease.address]
         self._free.append(lease.address)
 
     def __repr__(self) -> str:

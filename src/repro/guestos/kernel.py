@@ -79,7 +79,7 @@ class OperatingSystem:
         self._mounts: Dict[str, FileSystem] = {}
         self.booted = False
         self.boot_duration: Optional[float] = None
-        self.results: List[ProcessResult] = []
+        self.results: List[ProcessResult] = []  # simlint: disable=R23  per-VM instance holds its own guest results; size follows the VM's jobs, freed with the VM
 
     # -- mount table ----------------------------------------------------------
 

@@ -220,7 +220,10 @@ class ProcessorSharingCpu:
         self.speed = float(speed)
         self.quantum = float(quantum)
         self.context_switch_cost = float(context_switch_cost)
-        self._active: List[CpuTask] = []
+        # Insertion-ordered dict-as-set: iteration stays arrival order
+        # while membership tests and removals are O(1) in the task
+        # population.
+        self._active: Dict[CpuTask, None] = {}
         self._last_update = sim.now
         self._completion_generation = 0
         #: CPU-level half of the population signature (immutable).
@@ -270,7 +273,7 @@ class ProcessorSharingCpu:
             task.finished_at = self.sim.now
             task.done.succeed(task)
         else:
-            self._active.append(task)
+            self._active[task] = None
             self._invalidate()
         self._reschedule()
         return task.done
@@ -289,7 +292,7 @@ class ProcessorSharingCpu:
         self._advance()
         if task not in self._active:
             raise SimulationError("task %s is not active" % task.name)
-        self._active.remove(task)
+        del self._active[task]
         self._invalidate()
         self._reschedule()
         return task.remaining
@@ -384,7 +387,7 @@ class ProcessorSharingCpu:
         if state is None:
             singles: List[CpuTask] = []
             groups: Dict[TaskGroup, List[CpuTask]] = {}
-            for task in self._active:
+            for task in self._active:  # simlint: disable=R22  processor sharing recomputes shares over the host's runnable set; per-host multiprogramming, memoized per epoch
                 group = task.group
                 if group is None:
                     singles.append(task)
@@ -527,9 +530,9 @@ class ProcessorSharingCpu:
     def _reschedule(self) -> None:
         """Complete finished tasks and arm the next completion timer."""
         now = self.sim.now
-        finished = [t for t in self._active if t.remaining <= _WORK_EPSILON]
+        finished = [t for t in self._active if t.remaining <= _WORK_EPSILON]  # simlint: disable=R22  completion sweep over the per-host runnable set; see _sched_state
         for task in finished:
-            self._active.remove(task)
+            del self._active[task]
             task.remaining = 0.0
             task.finished_at = now
             task.done.succeed(task)

@@ -48,7 +48,7 @@ class AccountRegistry:
     """
 
     def __init__(self):
-        self._users: Dict[str, LogicalUser] = {}
+        self._users: Dict[str, LogicalUser] = {}  # simlint: disable=R23  the account registry IS the durable user database; accounts outlive sessions by design
         self._rights: Dict[str, Dict[str, Set[str]]] = {}
 
     def register(self, user: LogicalUser) -> LogicalUser:

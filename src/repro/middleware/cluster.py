@@ -149,7 +149,7 @@ class VirtualCluster:
 
     def teardown(self):
         """Process generator: shut every member down."""
-        for session in self.sessions:
+        for session in self.sessions:  # simlint: disable=R22  teardown runs once per cluster lifetime, not per event
             yield from session.shutdown()
         self.sessions = []
         self._deployed = False

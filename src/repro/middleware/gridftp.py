@@ -29,7 +29,7 @@ class GridFtpService:
         self.stager = stager
         self.auth_time = float(auth_time)
         #: (src_host, dst_host, name, bytes, seconds) per completed transfer.
-        self.log: List[Tuple[str, str, str, int, float]] = []
+        self.log: List[Tuple[str, str, str, int, float]] = []  # simlint: disable=R23  experiment artifact: the transfer ledger tests and reports read back
 
     def transfer(self, src_fs: FileSystem, src_host: str, name: str,
                  dst_fs: FileSystem, dst_host: str,

@@ -15,7 +15,7 @@ use Django-style suffixes: ``memory_mb__ge=256``, ``site="uf"``,
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simulation.kernel import Simulation, SimulationError
 
@@ -79,8 +79,15 @@ class InformationService:
         self.query_latency = float(query_latency)
         self.rng = rng if rng is not None \
             else sim.streams.stream("information")
-        self._tables: Dict[str, List[Dict[str, Any]]] = {
-            table: [] for table in self.TABLES}
+        # Tables are rid-keyed insertion-ordered maps (iteration order
+        # is registration order, exactly as the old per-table lists),
+        # with an exact-value inverted index per table so withdrawal
+        # touches the matching records, not the whole table.
+        self._tables: Dict[str, Dict[int, Dict[str, Any]]] = {
+            table: {} for table in self.TABLES}
+        self._index: Dict[str, Dict[Tuple[str, Any], Dict[int, None]]] \
+            = {table: {} for table in self.TABLES}
+        self._next_rid = 0
 
     # -- registration -----------------------------------------------------------
 
@@ -88,19 +95,57 @@ class InformationService:
         """Publish one record."""
         if table not in self._tables:
             raise SimulationError("unknown table %s" % table)
-        self._tables[table].append(dict(record))
+        rid = self._next_rid
+        self._next_rid += 1
+        stored = dict(record)
+        self._tables[table][rid] = stored
+        index = self._index[table]
+        for field, value in stored.items():
+            try:
+                index.setdefault((field, value), {})[rid] = None
+            except TypeError:
+                pass    # unhashable value: findable only by full scan
+
+    def _discard(self, table: str, rid: int) -> None:
+        record = self._tables[table].pop(rid)
+        index = self._index[table]
+        for field, value in record.items():
+            try:
+                posting = index.get((field, value))
+            except TypeError:
+                continue
+            if posting is not None:
+                posting.pop(rid, None)
+                if not posting:
+                    del index[(field, value)]
 
     def unregister(self, table: str, **match) -> int:
         """Withdraw records matching exact attribute values."""
         if table not in self._tables:
             raise SimulationError("unknown table %s" % table)
-        keep, dropped = [], 0
-        for record in self._tables[table]:
-            if all(record.get(k) == v for k, v in match.items()):
+        rows = self._tables[table]
+        # Probe the index with the most selective constraint; fall back
+        # to a full scan only for unhashable (hence unindexed) values.
+        best: Optional[Dict[int, None]] = None
+        scan_all = not match
+        for field, value in match.items():
+            try:
+                posting = self._index[table].get((field, value))
+            except TypeError:
+                best, scan_all = None, True
+                break
+            if posting is None:
+                return 0    # no record carries this exact value
+            if best is None or len(posting) < len(best):
+                best = posting
+        candidates = list(rows) if scan_all else list(best)
+        dropped = 0
+        for rid in candidates:
+            record = rows.get(rid)
+            if record is not None and all(record.get(k) == v
+                                          for k, v in match.items()):
+                self._discard(table, rid)
                 dropped += 1
-            else:
-                keep.append(record)
-        self._tables[table] = keep
         return dropped
 
     def table_size(self, table: str) -> int:
@@ -124,7 +169,7 @@ class InformationService:
         """Instant (cost-free) exact selection — for middleware internals."""
         if table not in self._tables:
             raise SimulationError("unknown table %s" % table)
-        return [dict(r) for r in self._tables[table]
+        return [dict(r) for r in self._tables[table].values()
                 if self._matches(r, constraints)]
 
     def query(self, table: str, limit: Optional[int] = None,
@@ -137,7 +182,7 @@ class InformationService:
         """
         if table not in self._tables:
             raise SimulationError("unknown table %s" % table)
-        records = list(self._tables[table])
+        records = list(self._tables[table].values())
         self.rng.shuffle(records)
         per_record = self.query_latency / max(1, len(records))
         budget = time_bound if time_bound is not None else float("inf")

@@ -65,7 +65,7 @@ class MetaScheduler:
         self.policy = policy
         self.session_overrides = dict(session_overrides or {})
         self.sensors: Dict[str, HostLoadSensor] = {}
-        self.decisions: List[PlacementDecision] = []
+        self.decisions: List[PlacementDecision] = []  # simlint: disable=R23  experiment artifact: prediction-error stats aggregate the full decision history
         self._sensor_period = float(sensor_period)
         self._rng = grid.streams.stream("metascheduler")
         self._job_counter = 0
@@ -100,6 +100,16 @@ class MetaScheduler:
         """Sensor samples taken while none of our jobs ran on ``host``."""
         monitor = self.sensors[host].monitor
         intervals = self._own_intervals.get(host, [])
+        if intervals and monitor.times:
+            # The sensor retains a bounded window; an interval that
+            # ended before the oldest retained sample can never exclude
+            # anything again.  Dropping it keeps this bookkeeping
+            # proportional to the sensor window, not to every job the
+            # scheduler ever placed.
+            horizon = monitor.times[0]
+            kept = [iv for iv in intervals if iv[1] >= horizon]
+            if len(kept) != len(intervals):
+                intervals[:] = kept
         history = []
         for t, value in zip(monitor.times, monitor.values):
             if not any(start <= t <= end for start, end in intervals):

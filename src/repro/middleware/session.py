@@ -107,7 +107,7 @@ class GridSession:
         self.sim = grid.sim
         self.grid = grid
         self.config = config
-        self.steps: List[StepRecord] = []
+        self.steps: List[StepRecord] = []  # simlint: disable=R23  per-session instance: a handful of lifecycle steps per session, freed with it
         self.vm = None
         self.vmm = None
         self.image_server = None

@@ -224,7 +224,7 @@ class MetricsRegistry:
 
     def __init__(self, partition: str = ""):
         self.partition = partition
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[str, Metric] = {}  # simlint: disable=R23  keyed by static instrument names: bounded by the instrumentation surface
 
     def _get(self, name: str, factory, partition: Optional[str]) -> Metric:
         if partition is None:
@@ -336,7 +336,7 @@ class MetricsRegistry:
 
     def names(self, prefix: str = "") -> List[str]:
         """Registered storage keys (optionally under a dotted prefix)."""
-        return sorted(key for key in self._metrics
+        return sorted(key for key in self._metrics  # simlint: disable=R22  iterates the instrument registry (bounded by code, not population) once per sampling beat
                       if key.startswith(prefix))
 
     def partitions(self) -> List[str]:

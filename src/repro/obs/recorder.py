@@ -122,8 +122,8 @@ class FlightRecorder:
         self._proc = None
         # Previous-beat cursors for delta computation.
         self._prev_events = 0
-        self._prev_counters: Dict[str, float] = {}
-        self._prev_hist_counts: Dict[str, int] = {}
+        self._prev_counters: Dict[str, float] = {}  # simlint: disable=R23  delta cursors keyed by instrument name; bounded by the registry
+        self._prev_hist_counts: Dict[str, int] = {}  # simlint: disable=R23  delta cursors keyed by instrument name; bounded by the registry
 
     # -- sampling ----------------------------------------------------------
 

@@ -167,9 +167,9 @@ class TraceRecorder(Tracer):
         self.record_kernel = bool(record_kernel)
         self.spans: List[Span] = []
         #: (time, name, track, args) per instant, in record order.
-        self.instants: List[Tuple[float, str, Tuple[str, str], dict]] = []
+        self.instants: List[Tuple[float, str, Tuple[str, str], dict]] = []  # simlint: disable=R23  trace artifact: recording is opt-in per run and the product is the full timeline
         #: (time, name, track, value) per counter sample, in record order.
-        self.counters: List[Tuple[float, str, Tuple[str, str], float]] = []
+        self.counters: List[Tuple[float, str, Tuple[str, str], float]] = []  # simlint: disable=R23  trace artifact: see instants
         self.kernel_stats: Dict[str, int] = {
             "events_scheduled": 0,
             "events_fired": 0,

@@ -30,7 +30,7 @@ class RandomStreams:
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: Dict[str, random.Random] = {}  # simlint: disable=R23  named streams must persist for replay determinism; one small Random per name, freed with the world
         self._numpy_streams: Dict[str, np.random.Generator] = {}
 
     def _derive(self, name: str) -> int:

@@ -91,7 +91,7 @@ class VirtualDisk:
             else sim.streams.stream("vdisk/" + name)
         self.remote_cpu_per_byte = float(remote_cpu_per_byte)
         self.block_size = 65536
-        self._written: Set[int] = set()
+        self._written: Set[int] = set()  # simlint: disable=R23  models the copy-on-write diff contents: bounded by the virtual disk's block count, freed with the VM
         self._cursor = 0
         #: Accounting the VM drains into guest sys time.
         self.pending_io_cpu = 0.0

@@ -48,7 +48,7 @@ def migrate(vm: VirtualMachine, dest_vmm: VirtualMachineMonitor,
     # The destination must be able to back the guest's memory *before*
     # we freeze anything (fail fast, no partial migration).
     dest_budget = dest_vmm.machine.memory_mb * 3 // 4
-    dest_resident = sum(v.config.memory_mb for v in dest_vmm.vms)
+    dest_resident = dest_vmm.resident_mb
     if dest_resident + vm.config.memory_mb > dest_budget:
         raise SimulationError(
             "%s cannot admit %s: insufficient guest memory budget"
@@ -91,8 +91,8 @@ def migrate(vm: VirtualMachine, dest_vmm: VirtualMachineMonitor,
                            sequential=True)
 
     # 6. Land: rebinding wakes in-flight computations onto the new CPU.
-    source_vmm.vms.remove(vm)
-    dest_vmm.vms.append(vm)
+    source_vmm._evict(vm)
+    dest_vmm._admit(vm)
     vm.land_on(dest_vmm)
     # Checkpoint the source CPU *while the group is still frozen*: the
     # fluid CPU model advances lazily with the group's current rate cap,

@@ -11,7 +11,7 @@ state-access configurations.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.guestos.interface import PhysicalHost
 from repro.hardware.cpu import CpuTask
@@ -34,7 +34,30 @@ class VirtualMachineMonitor:
         self.machine = host.machine
         self.costs = costs or VmmCosts()
         self.name = name or ("vmm@" + host.name)
-        self.vms: List[VirtualMachine] = []
+        # Name-keyed so lookup/duplicate checks cost O(1) however many
+        # VMs a scenario parks on one host; insertion order is the
+        # admission order the old list exposed.
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._resident_mb = 0
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        """Resident VMs in admission order (a snapshot copy)."""
+        return list(self._vms.values())
+
+    @property
+    def resident_mb(self) -> int:
+        """Guest memory currently admitted, in MB (running total)."""
+        return self._resident_mb
+
+    def _admit(self, vm: VirtualMachine) -> None:
+        self._vms[vm.name] = vm
+        self._resident_mb += vm.config.memory_mb
+
+    def _evict(self, vm: VirtualMachine) -> None:
+        if self._vms.get(vm.name) is vm:
+            del self._vms[vm.name]
+            self._resident_mb -= vm.config.memory_mb
 
     # -- creation ----------------------------------------------------------------
 
@@ -49,7 +72,7 @@ class VirtualMachineMonitor:
         ``costs.remote_state_cpu_per_byte``) when ``base_image`` is
         accessed through NFS or a PVFS proxy rather than local disk.
         """
-        if any(vm.name == config.name for vm in self.vms):
+        if config.name in self._vms:
             raise SimulationError("VM %s already exists on %s"
                                   % (config.name, self.name))
         # Admission control: guest memory is not overcommitted (the
@@ -57,7 +80,7 @@ class VirtualMachineMonitor:
         # it can actually back).  A quarter of RAM is reserved for the
         # host OS and the VMM processes themselves.
         budget = self.machine.memory_mb * 3 // 4
-        resident = sum(vm.config.memory_mb for vm in self.vms)
+        resident = self._resident_mb
         if resident + config.memory_mb > budget:
             raise SimulationError(
                 "%s cannot admit %s: %d+%d MB exceeds the %d MB guest "
@@ -70,15 +93,16 @@ class VirtualMachineMonitor:
                             rng=rng,
                             remote_cpu_per_byte=remote_cpu_per_byte)
         vm = VirtualMachine(self, config, vdisk, rng=rng, owner=owner)
-        self.vms.append(vm)
+        self._admit(vm)
         return vm
 
     def lookup(self, name: str) -> VirtualMachine:
         """Find a VM by name."""
-        for vm in self.vms:
-            if vm.name == name:
-                return vm
-        raise SimulationError("no VM named %s on %s" % (name, self.name))
+        vm = self._vms.get(name)
+        if vm is None:
+            raise SimulationError("no VM named %s on %s"
+                                  % (name, self.name))
+        return vm
 
     # -- power management -----------------------------------------------------------
 
@@ -180,7 +204,7 @@ class VirtualMachineMonitor:
         Returns the casualties; their state files survive on whatever
         storage they lived on, so sessions can re-instantiate elsewhere.
         """
-        casualties = list(self.vms)
+        casualties = self.vms
         for vm in casualties:
             vm.crash()
         return casualties
@@ -188,9 +212,8 @@ class VirtualMachineMonitor:
     def destroy(self, vm: VirtualMachine) -> None:
         """Remove a VM from this host (its image files remain)."""
         vm._set_state(VmState.TERMINATED)
-        if vm in self.vms:
-            self.vms.remove(vm)
+        self._evict(vm)
 
     def __repr__(self) -> str:
         return "<VirtualMachineMonitor %s vms=%d>" % (self.name,
-                                                      len(self.vms))
+                                                      len(self._vms))

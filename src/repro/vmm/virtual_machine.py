@@ -240,8 +240,7 @@ class VirtualMachine(MachineInterface):
         for proc in list(self._computations):
             if proc.is_alive:
                 proc.interrupt(cause="vm-crashed")
-        if self in self.vmm.vms:
-            self.vmm.vms.remove(self)
+        self.vmm._evict(self)
 
     def land_on(self, new_vmm) -> None:
         """Finish a migration: rebind to the destination host.

@@ -171,7 +171,7 @@ class LoadPlayback:
                         alive.append(entry)
                         if now - entry[1] > overdue_after:
                             overdue += 1
-                self._alive = alive
+                self._alive[:] = alive
                 to_spawn = max(0, bursts - overdue)
                 per_burst = total_work / bursts
                 for _i in range(to_spawn):

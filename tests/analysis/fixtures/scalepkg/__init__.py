@@ -1,0 +1,1 @@
+"""Fixture tree for the growth-dimension pass (rules R22-R26)."""

@@ -1,0 +1,33 @@
+"""A miniature DES kernel: the R25 (kernel drain) surface."""
+
+import heapq
+
+
+class Simulation:
+    """Drain seed: ``step`` runs once per drained event."""
+
+    def __init__(self):
+        self._queue = []
+        self._seq = 0
+
+    def schedule(self, when, event):
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event))
+
+    def step(self):
+        scratch = {}            # hoisted out of the loop: silent
+        while self._queue:
+            when, _seq, event = heapq.heappop(self._queue)
+            frame = {"when": when, "event": event}
+            labels = [event]
+            scratch.update(frame)
+            del labels
+
+
+class FastSimulation(Simulation):
+    """Subclass: inherits the drain surface from Simulation."""
+
+    def step(self):
+        for event in list(self._queue):
+            tags = {event}  # simlint: disable=R25  scratch set dies before the next event is drained
+            del tags

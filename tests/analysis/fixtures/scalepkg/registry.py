@@ -1,0 +1,63 @@
+"""Host/site-dimensioned and bounded state: lattice negatives."""
+
+from collections import deque
+
+
+class Registry:
+    """Per-host and per-site tables stay below the population rung."""
+
+    def __init__(self):
+        self.hosts = {}
+        self.sites = {}
+        self._units = {"cpu": 1}
+
+    def attach(self, host):
+        """Process generator: grows the host table per event."""
+        self.hosts[host.name] = host
+        yield host
+
+    def detach(self, host):
+        self.hosts.pop(host.name, None)
+
+    def register_site(self, site):
+        self.sites[site.name] = site
+
+    def broadcast(self):
+        """Process generator: iterating per-host state is fine."""
+        for host in self.hosts.values():
+            yield host
+
+
+class Window:
+    """A bounded ring is not tracked at all."""
+
+    def __init__(self):
+        self.recent_sessions = deque(maxlen=64)
+
+
+class Ledger:
+    """No population name, but per-event growth with no eviction."""
+
+    def __init__(self):
+        self.entries = []
+
+    def post(self, item):
+        """Process generator: grows per event, never drained."""
+        self.entries.append(item)
+        yield item
+
+
+class Spool:
+    """The eviction lives in a spawned closure: still counts."""
+
+    def __init__(self):
+        self.pending_jobs = {}
+
+    def fetch(self, job):
+        """Process generator: hands cleanup to a nested def."""
+        self.pending_jobs[job.name] = job
+
+        def finish():
+            self.pending_jobs.pop(job.name, None)
+
+        yield finish

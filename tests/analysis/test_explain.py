@@ -1,0 +1,83 @@
+"""``--explain R<id>``: the rule documentation catalogue."""
+
+import pytest
+
+from repro.analysis.cli import main as simlint_main
+from repro.analysis.explain import (
+    RULE_DOCS,
+    all_rule_codes,
+    explain_rule,
+)
+from repro.analysis.rules import default_rules
+
+
+def _active_rules():
+    from repro.analysis.dataflow import deep_rules
+    from repro.analysis.scale import scale_rules
+    from repro.analysis.shard import shard_rules
+
+    return default_rules() + deep_rules() + shard_rules() + scale_rules()
+
+
+class TestCatalogue:
+    def test_every_registered_rule_is_documented(self):
+        for rule in _active_rules():
+            assert rule.code.lower() in RULE_DOCS, rule.code
+            assert rule.name.lower() in RULE_DOCS, rule.name
+
+    def test_catalogue_covers_e0_through_r26(self):
+        assert all_rule_codes() == ["E0"] + \
+            ["R%d" % n for n in range(1, 27)]
+
+    def test_documented_names_match_the_implementations(self):
+        by_code = {rule.code: rule.name for rule in _active_rules()}
+        for code, name in by_code.items():
+            assert RULE_DOCS[code.lower()].name == name
+
+    def test_every_doc_has_all_sections(self):
+        for code in all_rule_codes():
+            text = explain_rule(code)
+            for heading in ("Summary:", "Why it matters:",
+                            "Fix pattern:", "Suppression:",
+                            "See: docs/static_analysis.md"):
+                assert heading in text, (code, heading)
+
+
+class TestLookup:
+    def test_lookup_by_code_is_case_insensitive(self):
+        assert explain_rule("r22") == explain_rule("R22")
+
+    def test_lookup_by_name(self):
+        assert explain_rule("unbounded-growth-container") == \
+            explain_rule("R23")
+
+    def test_header_names_code_name_and_pass(self):
+        header = explain_rule("R25").splitlines()[0]
+        assert "R25" in header and "per-event-allocation" in header
+        assert "--scale pass" in header
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            explain_rule("R99")
+
+
+class TestCli:
+    def test_explain_prints_and_exits_zero(self, capsys):
+        assert simlint_main(["--explain", "R26"]) == 0
+        out = capsys.readouterr().out
+        assert "rebuild-in-hot-path" in out and "Fix pattern:" in out
+
+    def test_explain_by_name(self, capsys):
+        assert simlint_main(["--explain", "per-event-linear-scan"]) == 0
+        assert "R22" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert simlint_main(["--explain", "R99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err and "--list-rules" in err
+
+    def test_explain_wins_over_analysis_flags(self, capsys):
+        # --explain short-circuits: no tree is analyzed.
+        assert simlint_main(["--explain", "R1", "--scale",
+                             "no/such/path"]) == 0
+        assert "global-random" in capsys.readouterr().out

@@ -1,0 +1,50 @@
+"""The analysis-runtime guard: the full gate must stay fast.
+
+``make check`` runs every pass on every invocation; if the combined
+``--deep --shard --scale`` gate creeps past a few seconds, developers
+stop running it.  The CLI shares one parsed project model across the
+three project passes — this test pins that property by wall clock.
+"""
+
+import os
+import time
+
+import repro
+from repro.analysis.cli import main as simlint_main
+
+REPRO_PKG = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: Generous ceiling: the combined pass runs in ~4s on the reference
+#: container; before the shared-project-model change it took ~5.5s.
+BUDGET_SECONDS = 5.0
+
+
+def test_full_gate_over_src_repro_stays_under_budget(capsys):
+    started = time.monotonic()
+    status = simlint_main(["--deep", "--shard", "--scale", REPRO_PKG])
+    elapsed = time.monotonic() - started
+    out = capsys.readouterr().out
+    assert status == 0 and "simlint: 0 findings" in out
+    assert elapsed < BUDGET_SECONDS, \
+        "--deep --shard --scale took %.2fs (budget %.1fs)" \
+        % (elapsed, BUDGET_SECONDS)
+
+
+def test_shared_project_model_is_reused(monkeypatch):
+    # The three project passes must parse the tree exactly once.
+    import repro.analysis.cli as cli
+    from repro.analysis.dataflow import symbols
+
+    calls = []
+    real = symbols.build_project
+
+    def counting(paths):
+        calls.append(list(paths))
+        return real(paths)
+
+    monkeypatch.setattr(symbols, "build_project", counting)
+    fixture = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures", "scalepkg")
+    cli.main(["--deep", "--shard", "--scale", "--disable",
+              "R8,R9", fixture])
+    assert len(calls) == 1

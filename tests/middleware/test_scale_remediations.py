@@ -1,0 +1,201 @@
+"""Regression tests for the scalecheck hot-path remediations.
+
+Each class here pins the *observable* behavior of a structure that was
+re-keyed or given an eviction path by the growth-dimension pass (R22-
+R26 over ``src/repro``): the indexed information-service tables, the
+name-keyed VMM admission map, the DHCP lease eviction, the provider's
+user set, and the metascheduler's interval pruning.  Seed-42 byte
+identity of the experiment goldens is enforced separately by
+``make golden-guard``; these tests cover the edge cases the goldens
+never reach.
+"""
+
+import pytest
+
+from repro.middleware.frontend import ServiceProvider
+from repro.middleware.information import InformationService
+from repro.middleware.scheduler import MetaScheduler
+from repro.gridnet.dhcp import DhcpServer
+from repro.simulation import Simulation, SimulationError
+from tests.support import TINY_GUEST, run, vm_rig
+
+
+# ---------------------------------------------------------------------------
+# InformationService: rid-keyed tables + exact-value inverted index
+# ---------------------------------------------------------------------------
+
+class TestInformationIndex:
+    def _service(self):
+        return InformationService(Simulation())
+
+    def test_select_preserves_registration_order(self):
+        info = self._service()
+        for name in ("c", "a", "b"):
+            info.register("vms", {"name": name, "site": "uf"})
+        assert [r["name"] for r in info.select("vms", site="uf")] \
+            == ["c", "a", "b"]
+
+    def test_unregister_uses_the_index(self):
+        info = self._service()
+        for index in range(4):
+            info.register("vms", {"name": "vm%d" % index,
+                                  "host": "h%d" % (index % 2)})
+        assert info.unregister("vms", host="h0") == 2
+        assert info.table_size("vms") == 2
+        assert [r["name"] for r in info.select("vms")] == ["vm1", "vm3"]
+
+    def test_unregister_unseen_value_is_a_miss_not_a_scan(self):
+        info = self._service()
+        info.register("vms", {"name": "vm1"})
+        assert info.unregister("vms", name="ghost") == 0
+        assert info.table_size("vms") == 1
+
+    def test_unhashable_values_fall_back_to_full_scan(self):
+        info = self._service()
+        info.register("machines", {"name": "m1", "tags": ["gpu"]})
+        info.register("machines", {"name": "m2", "tags": ["cpu"]})
+        assert info.unregister("machines", tags=["gpu"]) == 1
+        assert [r["name"] for r in info.select("machines")] == ["m2"]
+
+    def test_reregistration_after_unregister(self):
+        info = self._service()
+        info.register("vms", {"name": "vm1", "state": "up"})
+        info.unregister("vms", name="vm1")
+        info.register("vms", {"name": "vm1", "state": "down"})
+        assert info.select("vms", name="vm1")[0]["state"] == "down"
+        assert info.unregister("vms", name="vm1", state="up") == 0
+
+
+# ---------------------------------------------------------------------------
+# VirtualMachineMonitor: name-keyed admission map + resident counter
+# ---------------------------------------------------------------------------
+
+class TestMonitorAdmission:
+    def test_vms_property_preserves_admission_order(self):
+        sim = Simulation()
+        from repro.vmm import VmConfig
+        vmm, image, _vm = vm_rig(sim)
+        vmm.create_vm(VmConfig("vm2", memory_mb=64,
+                               guest_profile=TINY_GUEST), image)
+        assert [vm.name for vm in vmm.vms] == ["vm1", "vm2"]
+
+    def test_resident_mb_follows_create_and_destroy(self):
+        sim = Simulation()
+        from repro.vmm import VmConfig
+        vmm, image, vm = vm_rig(sim)
+        before = vmm.resident_mb
+        other = vmm.create_vm(VmConfig("vm2", memory_mb=64,
+                                       guest_profile=TINY_GUEST), image)
+        assert vmm.resident_mb == before + 64
+        vmm.destroy(other)
+        assert vmm.resident_mb == before
+        assert [v.name for v in vmm.vms] == [vm.name]
+
+    def test_crash_evicts_from_the_admission_map(self):
+        sim = Simulation()
+        vmm, _image, vm = vm_rig(sim)
+        run(sim, vmm.power_on(vm))
+        vm.crash()
+        assert vmm.vms == [] and vmm.resident_mb == 0
+        with pytest.raises(SimulationError):
+            vmm.lookup(vm.name)
+
+
+# ---------------------------------------------------------------------------
+# DhcpServer: spent leases are evicted, not archived
+# ---------------------------------------------------------------------------
+
+class TestDhcpEviction:
+    def test_release_returns_address_and_drops_the_lease(self):
+        sim = Simulation()
+        server = DhcpServer(sim, pool_size=2)
+        lease = run(sim, server.acquire("vm1"))
+        assert server.available == 1
+        server.release(lease)
+        assert server.available == 2 and server.active_leases == []
+
+    def test_double_release_still_rejected(self):
+        sim = Simulation()
+        server = DhcpServer(sim, pool_size=2)
+        lease = run(sim, server.acquire("vm1"))
+        server.release(lease)
+        with pytest.raises(SimulationError):
+            server.release(lease)
+
+    def test_lease_table_size_tracks_holders_not_churn(self):
+        sim = Simulation()
+        server = DhcpServer(sim, pool_size=1)
+        for _ in range(5):
+            lease = run(sim, server.acquire("vm1"))
+            server.release(lease)
+        assert server.active_leases == [] and server.available == 1
+
+
+# ---------------------------------------------------------------------------
+# ServiceProvider: dict-as-set user registry
+# ---------------------------------------------------------------------------
+
+class TestProviderUsers:
+    def _provider(self):
+        sim = Simulation()
+
+        class _Grid:
+            pass
+
+        grid = _Grid()
+        grid.sim = sim
+        return ServiceProvider(grid, "prov", "image")
+
+    def test_registration_order_preserved(self):
+        provider = self._provider()
+        for user in ("zoe", "amy", "bob"):
+            provider.register_user(user)
+        assert provider.users == ["zoe", "amy", "bob"]
+
+    def test_duplicate_registration_rejected(self):
+        provider = self._provider()
+        provider.register_user("amy")
+        with pytest.raises(SimulationError):
+            provider.register_user("amy")
+
+
+# ---------------------------------------------------------------------------
+# MetaScheduler: own-interval pruning against the sensor window
+# ---------------------------------------------------------------------------
+
+class _Monitor:
+    def __init__(self, times, values):
+        self.times = times
+        self.values = values
+
+
+class _Sensor:
+    def __init__(self, monitor):
+        self.monitor = monitor
+
+
+class TestSchedulerPruning:
+    def _scheduler(self, host, monitor, intervals):
+        scheduler = MetaScheduler.__new__(MetaScheduler)
+        scheduler.sensors = {host: _Sensor(monitor)}
+        scheduler._own_intervals = {host: intervals}
+        return scheduler
+
+    def test_expired_intervals_are_pruned_in_place(self):
+        intervals = [(0.0, 1.0), (5.0, 6.0), (10.0, 11.0)]
+        monitor = _Monitor([8.0, 9.0, 10.0], [0.1, 0.2, 0.3])
+        scheduler = self._scheduler("h", monitor, intervals)
+        history = scheduler._background_history("h")
+        # Samples at 8 and 9 are background; 10 falls in our own job.
+        assert history == [0.1, 0.2]
+        # Intervals ending before the window's oldest sample are gone,
+        # and the pruning mutated the stored list in place.
+        assert intervals == [(10.0, 11.0)]
+        assert scheduler._own_intervals["h"] is intervals
+
+    def test_live_intervals_survive(self):
+        intervals = [(8.5, 9.5)]
+        monitor = _Monitor([8.0, 9.0, 10.0], [0.1, 0.2, 0.3])
+        scheduler = self._scheduler("h", monitor, intervals)
+        assert scheduler._background_history("h") == [0.1, 0.3]
+        assert intervals == [(8.5, 9.5)]
