@@ -15,13 +15,13 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint shardcheck scalecheck baseline test \
-	parallel-determinism shard-determinism sanitize sanitize-shard \
-	trace-smoke record-smoke golden-guard bench bench-experiments \
-	experiments
+	parallel-determinism shard-determinism adaptive-guard sanitize \
+	sanitize-shard trace-smoke record-smoke golden-guard bench \
+	bench-experiments experiments
 
 check: lint shardcheck scalecheck test parallel-determinism \
-	shard-determinism sanitize sanitize-shard trace-smoke \
-	record-smoke golden-guard
+	shard-determinism adaptive-guard sanitize sanitize-shard \
+	trace-smoke record-smoke golden-guard
 
 lint:
 	$(PYTHON) -m repro.analysis --deep src/repro \
@@ -62,17 +62,29 @@ parallel-determinism:
 
 # Byte-identity across *shard* counts: the sharded engine's
 # determinism contract says every artifact is a pure function of
-# (scenario, seed), never of shard count or placement.  Table 2 plus
-# its trace and flight record are compared across {1,2,4} shards, and
-# the fleet scenario (the genuinely decomposable multi-site world,
-# including its merged flight record) across {1,4}.  The fleet flight
-# file reuses one path so the printed output is comparable too.
+# (scenario, seed), never of shard count, shard model or placement.
+# Table 2 and Table 1 are compared across {1,2,4} shards under both
+# the `site` and `host` shard models (host unlocks shard counts above
+# the site count: one group per sample world), table2's trace and
+# flight record across {1,2} shards, and the fleet scenario (the
+# message-coupled multi-site world, including its merged flight
+# record) across {1,4}.  The fleet flight file reuses one path so the
+# printed output is comparable too.
 shard-determinism:
 	$(PYTHON) -m repro table2 --seed 42 --shards 1 > .shard-det-t2-1.txt
 	$(PYTHON) -m repro table2 --seed 42 --shards 2 > .shard-det-t2-2.txt
 	$(PYTHON) -m repro table2 --seed 42 --shards 4 > .shard-det-t2-4.txt
+	$(PYTHON) -m repro table2 --seed 42 --shards 4 --shard-model host \
+	    > .shard-det-t2-4h.txt
 	cmp .shard-det-t2-1.txt .shard-det-t2-2.txt
 	cmp .shard-det-t2-1.txt .shard-det-t2-4.txt
+	cmp .shard-det-t2-1.txt .shard-det-t2-4h.txt
+	$(PYTHON) -m repro table1 --seed 42 --shards 1 > .shard-det-t1-1.txt
+	$(PYTHON) -m repro table1 --seed 42 --shards 4 > .shard-det-t1-4.txt
+	$(PYTHON) -m repro table1 --seed 42 --shards 4 --shard-model host \
+	    > .shard-det-t1-4h.txt
+	cmp .shard-det-t1-1.txt .shard-det-t1-4.txt
+	cmp .shard-det-t1-1.txt .shard-det-t1-4h.txt
 	$(PYTHON) -m repro trace table2 --seed 42 --shards 1 \
 	    --out .shard-det-trace-1.json
 	$(PYTHON) -m repro trace table2 --seed 42 --shards 2 \
@@ -90,9 +102,17 @@ shard-determinism:
 	    --out .shard-det-flight.jsonl > .shard-det-fleet-4.txt
 	cmp .shard-det-fleet-1.txt .shard-det-fleet-4.txt
 	cmp .shard-det-flight-1.jsonl .shard-det-flight.jsonl
-	rm -f .shard-det-t2-*.txt .shard-det-trace-*.json \
-	    .shard-det-rec-*.jsonl .shard-det-fleet-*.txt \
-	    .shard-det-flight*.jsonl
+	rm -f .shard-det-t2-*.txt .shard-det-t1-*.txt \
+	    .shard-det-trace-*.json .shard-det-rec-*.jsonl \
+	    .shard-det-fleet-*.txt .shard-det-flight*.jsonl
+
+# Adaptive conservative windows must never cost barrier rounds versus
+# the fixed-lookahead schedule, and every artifact except the reported
+# round count must be byte-identical (window *sizes* change, delivered
+# message stamps do not).  The full numbers live in BENCH_sharded.json
+# (`make bench`); this is the fast regression gate.
+adaptive-guard:
+	$(PYTHON) -m pytest -x -q tests/experiments/test_fleet.py -k adaptive
 
 # Replay the reduced-scale table2 scenario at seed 42 under simsan:
 # zero hazards required, and the sanitized run's output must match an

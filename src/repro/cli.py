@@ -57,15 +57,18 @@ model layer was justified from.
 worker count, including the single-world ``trace``/``metrics`` runs,
 which stay sequential by construction.
 
-``--shards N`` parallelizes *within* one simulated world: the grid is
-partitioned by site and each partition runs its own kernel under the
-deterministic conservative protocol of
+``--shards N`` partitions the experiment and runs up to N kernels in
+parallel under the deterministic conservative protocol of
 :mod:`repro.simulation.sharded` (``docs/sharding.md``).  Orthogonal to
-``--workers`` (which parallelizes *across* independent worlds); every
-artifact is byte-identical for any shard count.  ``fleet`` is the
-decomposable multi-site scenario built for it — the paper's own
-single-session artifacts accept ``--shards`` but are one-kernel worlds,
-so the flag validates and runs the identical inline path.
+``--workers``; every artifact is byte-identical for any shard count
+and shard model.  ``fleet`` is the decomposable multi-site scenario
+(one shard per site, adaptive conservative windows — ``--fixed-windows``
+for the A/B schedule); ``table1``/``table2`` decompose over their
+independent sample worlds (``--shard-model site`` groups per table
+cell/column, ``host`` per world).  ``figure1``, the ablations and the
+single-session trace/record targets are one-kernel worlds: ``--shards
+> 1`` prints a notice and runs the identical inline path, or errors
+out under ``--strict-shards``.
 """
 
 from __future__ import annotations
@@ -83,7 +86,8 @@ def _cmd_table1(args) -> None:
     from repro.experiments.table1 import run_table1
 
     scale = float(args.scale) if args.scale is not None else 1.0
-    rows = run_table1(scale=scale, seed=args.seed)
+    rows = run_table1(scale=scale, seed=args.seed, shards=args.shards,
+                      shard_model=args.shard_model or "site")
     print(format_table(
         ["Application", "Resource", "User(s)", "Sys(s)", "Total(s)",
          "Overhead"],
@@ -98,7 +102,8 @@ def _cmd_table2(args) -> None:
     from repro.experiments.table2 import run_table2
 
     rows = run_table2(samples=args.samples, seed=args.seed,
-                      workers=args.workers, shards=args.shards)
+                      workers=args.workers, shards=args.shards,
+                      shard_model=args.shard_model or "site")
     print(format_table(
         ["Start", "Storage", "Mean(s)", "Std", "Min", "Max"],
         [[r.start_mode, r.storage_mode, "%.1f" % r.mean, "%.1f" % r.std,
@@ -110,7 +115,8 @@ def _cmd_figure1(args) -> None:
     from repro.experiments.figure1 import run_figure1
 
     results = run_figure1(samples=args.samples, seed=args.seed,
-                          workers=args.workers)
+                          workers=args.workers, shards=args.shards,
+                          strict_shards=args.strict_shards)
     print(format_table(
         ["Load", "Test on", "Load on", "Mean slowdown", "Std"],
         [[r.load_level, r.test_on, r.load_on, "%.3f" % r.mean_slowdown,
@@ -125,21 +131,27 @@ def _cmd_ablations(args) -> None:
         run_staging_ablation,
     )
 
-    cache = run_proxy_cache_ablation(seed=args.seed, workers=args.workers)
+    cache = run_proxy_cache_ablation(seed=args.seed, workers=args.workers,
+                                     shards=args.shards,
+                                     strict_shards=args.strict_shards)
     print(format_table(
         ["Proxy cache", "Cold(s)", "Warm mean(s)"],
         [["on" if r.proxy_cache else "off", "%.1f" % r.cold,
           "%.1f" % r.warm_mean] for r in cache],
         title="A1: proxy cache"))
     print()
-    sched = run_scheduler_ablation(seed=args.seed, workers=args.workers)
+    sched = run_scheduler_ablation(seed=args.seed, workers=args.workers,
+                                   shards=args.shards,
+                                   strict_shards=args.strict_shards)
     print(format_table(
         ["Mechanism", "VM", "Target", "Achieved"],
         [[r.mechanism, r.vm, "%.3f" % r.target, "%.3f" % r.achieved]
          for r in sched],
         title="A2: enforcement mechanisms"))
     print()
-    staging = run_staging_ablation(workers=args.workers)
+    staging = run_staging_ablation(workers=args.workers,
+                                   shards=args.shards,
+                                   strict_shards=args.strict_shards)
     print(format_table(
         ["Fraction", "On-demand(s)", "Staged(s)", "Winner"],
         [["%.2f" % p.fraction, "%.1f" % p.on_demand_time,
@@ -154,7 +166,8 @@ def _cmd_fleet(args) -> None:
 
     result = run_fleet(sites=args.sites, sessions=args.sessions,
                        seed=args.seed, shards=args.shards,
-                       interval=args.interval, capacity=args.capacity)
+                       interval=args.interval, capacity=args.capacity,
+                       adaptive=not args.fixed_windows)
     print(result.render())
     print(result.merged_metrics().to_table(
         title="Fleet metrics (merged across %d site shard(s))"
@@ -216,7 +229,8 @@ def _cmd_trace(args) -> None:
     target = _require_target(args)
     out = args.out or "%s-trace.json" % target
     sim, count = trace_experiment(target, out, seed=args.seed,
-                                  shards=args.shards)
+                                  shards=args.shards,
+                                  strict_shards=args.strict_shards)
     print("wrote %s: %d trace events, %.2f simulated seconds"
           % (out, count, sim.now))
 
@@ -240,7 +254,8 @@ def _cmd_record(args) -> None:
     out = args.out or "%s-record.jsonl" % target
     sim, _grid, recorder = record_experiment(
         target, interval=args.interval, seed=args.seed,
-        capacity=args.capacity, shards=args.shards)
+        capacity=args.capacity, shards=args.shards,
+        strict_shards=args.strict_shards)
     count = recorder.write(out)
     print("wrote %s: %d heartbeat(s) at %gs intervals, "
           "%.2f simulated seconds"
@@ -378,10 +393,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "sequential; results are byte-identical "
                              "for any value)")
     parser.add_argument("--shards", type=int, default=1,
-                        help="partition the simulated world by site and "
-                             "run up to N partition kernels in parallel "
+                        help="partition the experiment's worlds and run "
+                             "up to N partition kernels in parallel "
                              "(default 1; results are byte-identical "
                              "for any value — see docs/sharding.md)")
+    parser.add_argument("--strict-shards", action="store_true",
+                        help="error out instead of running inline when "
+                             "--shards > 1 hits a non-decomposable "
+                             "experiment (figure1, ablations, "
+                             "trace/record targets)")
+    parser.add_argument("--fixed-windows", action="store_true",
+                        help="fleet: disable adaptive conservative "
+                             "windows (A/B the round count; artifacts "
+                             "other than the rounds row are identical)")
     parser.add_argument("--sites", type=int, default=3,
                         help="fleet: number of sites (default 3)")
     parser.add_argument("--sessions", type=int, default=3,
@@ -419,8 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "inventory at FILE (implies --shard)")
     parser.add_argument("--shard-model", default=None,
                         choices=("site", "host"),
-                        help="sanitize: also check shard-affinity at "
-                             "runtime, partitioning by site or by host")
+                        help="table1/table2: how --shards groups the "
+                             "experiment's worlds (site: coarse, one "
+                             "group per cell/column; host: one group "
+                             "per world, unlocking shard counts above "
+                             "the site count); sanitize: also check "
+                             "shard-affinity at runtime, partitioning "
+                             "by site or by host")
     parser.add_argument("--sarif", action="store_true",
                         help="analyze: emit findings as SARIF 2.1.0")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -454,6 +483,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             _COMMANDS[name](args)
             print()
         return 0
+    if args.strict_shards:
+        # Strict shard validation is a user-requested argument check:
+        # fail with a one-line error, not a traceback.
+        from repro.simulation.sharded import ShardError
+
+        try:
+            return _COMMANDS[args.command](args) or 0
+        except ShardError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
     return _COMMANDS[args.command](args) or 0
 
 

@@ -210,6 +210,12 @@ def build_fleet_world(group: str, lookaheads: Dict[str, float],
         # round count — pure synchronization overhead — scale with the
         # workload instead of staying a short prologue.
         announces = min(sessions, 8)
+        # Dispatch instants are known at build time, so the site can
+        # promise them: under adaptive windows everyone else runs right
+        # up to the next announce plus lookahead instead of creeping
+        # forward one WAN latency per round through the dense local
+        # event stream.
+        world.promise_no_send_before(_ANNOUNCE_AT)
 
         for k in range(announces):
             def announce(_sim, k=k):
@@ -219,6 +225,9 @@ def build_fleet_world(group: str, lookaheads: Dict[str, float],
                            latency=latency)
                 if k == announces - 1:
                     world.close_outbound()
+                else:
+                    world.promise_no_send_before(
+                        _ANNOUNCE_AT + _ANNOUNCE_EVERY * (k + 1))
 
             sim.call_at(_ANNOUNCE_AT + _ANNOUNCE_EVERY * k, announce)
     else:
@@ -318,12 +327,16 @@ class FleetResult:
 def run_fleet(sites: int = 3, sessions: int = 3, seed: int = 42,
               shards: int = 1, interval: float = 0.5,
               capacity: int = 512,
-              arrival_every: float = _ARRIVAL_EVERY) -> FleetResult:
+              arrival_every: float = _ARRIVAL_EVERY,
+              adaptive: bool = True) -> FleetResult:
     """Run the fleet scenario; ``shards`` affects wall-clock only.
 
     ``arrival_every`` spaces session arrivals; the benchmark stretches
     it so hundreds of sessions queue instead of all contending for the
-    two hosts' guest-memory budget at once.
+    two hosts' guest-memory budget at once.  ``adaptive=False`` runs
+    fixed-lookahead windows (the pre-forecast round schedule) for A/B
+    measurement; message stamps and artifacts other than the reported
+    round count are identical either way.
     """
     from repro.simulation.kernel import SimulationError
 
@@ -337,5 +350,6 @@ def run_fleet(sites: int = 3, sessions: int = 3, seed: int = 42,
         build_fleet_world, plan, shards=shards,
         kwargs={"sites": labels, "sessions": sessions, "seed": seed,
                 "interval": interval, "capacity": capacity,
-                "arrival_every": arrival_every})
+                "arrival_every": arrival_every},
+        adaptive=adaptive)
     return FleetResult(labels, sessions, seed, engine.run())

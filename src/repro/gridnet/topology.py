@@ -173,27 +173,57 @@ class Network:
         return sorted(name for name, attrs in self._hosts.items()
                       if attrs["site"] == site)
 
+    def site_of(self, name: str) -> Optional[str]:
+        """The site label of a registered end host (None for routers)."""
+        attrs = self._hosts.get(name)
+        return attrs["site"] if attrs is not None else None
+
+    def partition_lookaheads(
+            self, partition: Dict[str, str]) -> Dict[Tuple[str, str], float]:
+        """Pairwise minimum latency between the groups of a host partition.
+
+        ``partition`` maps end hosts to group labels; hosts left out of
+        the map contribute to no group.  The result is the symmetric
+        group-pair matrix of the minimum one-way latency over all
+        cross-group host pairs — the conservative lookahead for a
+        sharded run partitioned along those groups (``inf`` for
+        disconnected pairs).  The site matrix is the special case
+        ``partition = {host: site_of(host)}``; a host-level plan passes
+        ``{host: host}`` and wins the tighter LAN latencies.
+        """
+        groups: Dict[str, List[str]] = {}
+        for host in sorted(partition):
+            if host not in self._hosts:
+                raise SimulationError("unknown host %s in partition" % host)
+            groups.setdefault(partition[host], []).append(host)
+        matrix: Dict[Tuple[str, str], float] = {}
+        labels = sorted(groups)
+        for i, label_a in enumerate(labels):
+            hosts_a = groups[label_a]
+            for label_b in labels[i + 1:]:
+                best = float("inf")
+                for a in hosts_a:
+                    for b in groups[label_b]:
+                        try:
+                            value = self.latency(a, b)
+                        except SimulationError:
+                            continue  # disconnected pair
+                        if value < best:
+                            best = value
+                matrix[(label_a, label_b)] = best
+                matrix[(label_b, label_a)] = best
+        return matrix
+
+    def host_lookaheads(self) -> Dict[Tuple[str, str], float]:
+        """The host-pair lookahead matrix (every host its own group)."""
+        return self.partition_lookaheads({name: name for name in self._hosts})
+
     def _site_matrix(self) -> Dict[Tuple[str, str], float]:
         """The symmetric site-pair minimum-latency matrix (cached)."""
         matrix = self._site_latency_cache
         if matrix is None:
-            matrix = {}
-            sites = self.sites()
-            for i, site_a in enumerate(sites):
-                hosts_a = self.hosts_in(site_a)
-                for site_b in sites[i + 1:]:
-                    best = float("inf")
-                    for a in hosts_a:
-                        for b in self.hosts_in(site_b):
-                            try:
-                                value = self.latency(a, b)
-                            except SimulationError:
-                                continue  # disconnected pair
-                            if value < best:
-                                best = value
-                    matrix[(site_a, site_b)] = best
-                    matrix[(site_b, site_a)] = best
-            self._site_latency_cache = matrix
+            matrix = self._site_latency_cache = self.partition_lookaheads(
+                {name: attrs["site"] for name, attrs in self._hosts.items()})
         return matrix
 
     def min_latency(self, site_a: str, site_b: str) -> float:

@@ -54,6 +54,7 @@ single-kernel run, byte-identical by construction.  See
 
 from __future__ import annotations
 
+import sys
 from typing import (Any, Callable, Dict, Iterable, List, Mapping,
                     Optional, Sequence, Tuple)
 
@@ -74,8 +75,14 @@ __all__ = [
 _INF = float("inf")
 
 
-class ShardError(SimulationError):
-    """Raised for misuse of the sharded engine or protocol violations."""
+class ShardError(SimulationError, ValueError):
+    """Raised for misuse of the sharded engine or protocol violations.
+
+    Also a :class:`ValueError`: a shard request a world cannot honor
+    (``--strict-shards`` on a non-decomposable experiment) is an
+    invalid argument value, and callers outside the engine can treat
+    it as one without importing this module.
+    """
 
 
 class ShardMessage:
@@ -168,6 +175,11 @@ class ShardWorld:
         #: under ``"data"``.
         self.collect: Optional[Callable[["ShardWorld"], Any]] = None
         self.outbound_open = True
+        #: Earliest-cross-send forecast: the model's binding promise
+        #: that no :meth:`send` happens before this simulated instant.
+        #: Monotone (see :meth:`promise_no_send_before`); the adaptive
+        #: coordinator widens other shards' windows with it.
+        self.send_promise = 0.0
         self._handlers: Dict[str, Callable[["ShardWorld", ShardMessage],
                                            Any]] = {}
         self._outbox: List[ShardMessage] = []
@@ -204,6 +216,12 @@ class ShardWorld:
             raise ShardError(
                 "%s closed its outbound channels; close_outbound() is a "
                 "promise to send no more" % self.group)
+        if self.sim.now < self.send_promise:
+            raise ShardError(
+                "%s sends at t=%.6g, breaking its promise of no sends "
+                "before %.6g — promise_no_send_before must never "
+                "overshoot the model's true next send"
+                % (self.group, self.sim.now, self.send_promise))
         if dest == self.group:
             raise ShardError("cross-shard send to own group %s" % dest)
         lookahead = self.lookaheads.get(dest, _INF)
@@ -231,6 +249,28 @@ class ShardWorld:
         run to completion in a single unbounded window.
         """
         self.outbound_open = False
+
+    def promise_no_send_before(self, when: float) -> None:
+        """Forecast: no cross-shard send strictly before ``when``.
+
+        The bounded cousin of :meth:`close_outbound` (which is the
+        promise at +infinity).  Binding — :meth:`send` raises if the
+        model breaks it — and monotone: a promise never retreats, so a
+        stale (past) forecast is harmless rather than wrong.  The
+        adaptive coordinator computes every other shard's window from
+        ``max(next_event, promise) + lookahead`` instead of
+        ``next_event + lookahead``, which is what cuts round count when
+        lookahead is small relative to event density: a shard that is
+        busy with internal work but knows its next send instant (a
+        scheduled announce, a queued transfer's completion) lets
+        everyone else run right up to that instant plus the latency
+        floor.  Conservatism is preserved because a send can only
+        happen at an executed event (``>=`` the shard's reported next
+        event time) *and* at or after the reported promise (enforced
+        above; promises only grow after reporting).
+        """
+        if when > self.send_promise:
+            self.send_promise = when
 
     # -- engine side ---------------------------------------------------------
 
@@ -296,7 +336,8 @@ class ShardKernel:
         """The shard's barrier report before any window has run."""
         sim = self.world.sim  # simlint: disable=R21  engine-owned shard
         return {"next": sim.peek(), "now": sim.now,
-                "open": self.world.outbound_open}
+                "open": self.world.outbound_open,
+                "promise": self.world.send_promise}
 
     def _deliver(self, messages: Sequence[ShardMessage]) -> None:
         sim = self.world.sim  # simlint: disable=R21  engine-owned shard
@@ -370,6 +411,7 @@ class ShardKernel:
             "next": sim.peek(),
             "now": sim.now,
             "open": self.world.outbound_open,
+            "promise": self.world.send_promise,
             "out": self.world.drain_outbox(),
             "events": sim._next_id - events_before,
             "cpu": cpu,
@@ -397,22 +439,39 @@ class ShardKernel:
         return self.world.result()
 
 
-def single_group_shards(shards: int, scenario: str = "") -> int:
+def single_group_shards(shards: int, scenario: str = "",
+                        strict: bool = False) -> int:
     """Validate a ``--shards`` request against a one-group world.
 
-    The paper's own artifacts build *one* entangled kernel (a shared
-    max-min flow engine, synchronous NFS object graphs), so their shard
-    plan is the degenerate single group and the engine would cap the
-    worker count at one — the same inline code path for every
-    ``shards`` value, byte-identical by construction.  Drivers of such
-    worlds call this instead of spinning up the engine around a
+    Some artifacts build *one* entangled kernel (synchronous NFS object
+    graphs inside a single sample world, sequential ablation sweeps),
+    so their shard plan is the degenerate single group and the engine
+    would cap the worker count at one — the same inline code path for
+    every ``shards`` value, byte-identical by construction.  Drivers of
+    such worlds call this instead of spinning up the engine around a
     partition that cannot exist: the request is validated, the answer
     is always one worker.
+
+    Asking for parallelism such a world cannot deliver is worth saying
+    out loud: ``shards > 1`` prints a one-line notice to stderr (stdout
+    stays byte-comparable across shard counts), and raises
+    :class:`ShardError` instead under ``strict`` (``--strict-shards``).
     """
     if shards < 1:
         raise ShardError("shards must be >= 1, got %r%s"
                          % (shards, " (%s)" % scenario if scenario
                             else ""))
+    if shards > 1:
+        detail = " (%s)" % scenario if scenario else ""
+        if strict:
+            raise ShardError(
+                "--shards %d requested but this world is "
+                "non-decomposable%s; it runs as a single kernel — drop "
+                "--strict-shards to accept the inline path" % (shards,
+                                                               detail))
+        print("[shards] non-decomposable world%s: --shards %d runs the "  # simlint: disable=R9  operator-facing CLI notice on stderr; stdout artifacts stay byte-comparable and no model state is involved
+              "single-kernel inline path" % (detail, shards),
+              file=sys.stderr)
     return 1
 
 
@@ -458,6 +517,17 @@ class ShardPlan:
     def single(cls, label: str = "grid") -> "ShardPlan":
         """The degenerate one-group plan of a non-decomposable world."""
         return cls([label])
+
+    @classmethod
+    def for_grid(cls, grid, model: str = "site") -> "ShardPlan":
+        """The plan a :class:`~repro.core.grid.VirtualGrid` induces.
+
+        ``model="site"`` gives one group per site with WAN-latency
+        lookaheads; ``model="host"`` one group per physical machine
+        with the (tighter) LAN-latency matrix — shard counts above the
+        site count for single-site-heavy worlds.
+        """
+        return cls(grid.partition_groups(model), grid.lookaheads(model))
 
     @classmethod
     def uniform(cls, groups: Sequence[str], lookahead: float
@@ -536,10 +606,13 @@ def _shard_worker_main(request):
 class ShardRunResult:
     """Everything a sharded run produced, plus engine statistics."""
 
-    def __init__(self, plan: ShardPlan, shards: int, workers: int):
+    def __init__(self, plan: ShardPlan, shards: int, workers: int,
+                 adaptive: bool = True):
         self.plan = plan
         self.shards = shards
         self.workers = workers
+        #: Whether windows grew from earliest-cross-send forecasts.
+        self.adaptive = adaptive
         #: group -> the world's :meth:`ShardWorld.result` dict.
         self.results: Dict[str, Dict[str, Any]] = {}
         self.rounds = 0
@@ -602,7 +675,8 @@ class ShardedSimulation:
 
     def __init__(self, builder: Callable[..., ShardWorld],
                  plan: ShardPlan, shards: int = 1,
-                 kwargs: Optional[Mapping[str, Any]] = None):
+                 kwargs: Optional[Mapping[str, Any]] = None,
+                 adaptive: bool = True):
         if shards < 1:
             raise ShardError("shards must be >= 1, got %r" % (shards,))
         if not callable(builder):
@@ -618,6 +692,12 @@ class ShardedSimulation:
         self.shards = shards
         self.kwargs = dict(kwargs or {})
         self.workers = max(1, min(shards, len(plan.groups)))
+        #: Grow windows from per-shard earliest-cross-send forecasts
+        #: (:meth:`ShardWorld.promise_no_send_before`).  Window *sizes*
+        #: change; delivered message stamps and artifacts do not, so
+        #: this is on by default (``adaptive=False`` reproduces the
+        #: fixed-lookahead round schedule for A/B measurement).
+        self.adaptive = adaptive
 
     # -- placement -----------------------------------------------------------
 
@@ -632,7 +712,8 @@ class ShardedSimulation:
         """Execute the scenario to quiescence and collect every shard."""
         import time
 
-        result = ShardRunResult(self.plan, self.shards, self.workers)
+        result = ShardRunResult(self.plan, self.shards, self.workers,
+                                adaptive=self.adaptive)
         cpu_start = time.process_time()  # simlint: disable=R2  harness timing, never reaches the model
         assignment = self._assignment()
         owner = {group: worker
@@ -693,7 +774,15 @@ class ShardedSimulation:
                     lookahead = self.plan.lookahead(j, g)
                     if lookahead == _INF:
                         continue
-                    horizon = min(horizon, eff[j] + lookahead)
+                    # A send from j happens at an executed event (so at
+                    # or after eff[j]) and never before j's reported
+                    # promise (enforced in ShardWorld.send; promises
+                    # only grow after reporting) — the later of the two
+                    # is the conservative send floor.
+                    send_floor = eff[j]
+                    if self.adaptive and state[j]["promise"] > send_floor:
+                        send_floor = state[j]["promise"]
+                    horizon = min(horizon, send_floor + lookahead)
                 horizons[g] = horizon
             runnable = [g for g in self.plan.groups
                         if pending[g] or eff[g] <= horizons[g]]
@@ -716,7 +805,8 @@ class ShardedSimulation:
                     report = reply[g]
                     state[g] = {"next": report["next"],
                                 "now": report["now"],
-                                "open": report["open"]}
+                                "open": report["open"],
+                                "promise": report["promise"]}
                     result.events[g] += report["events"]
                     result.cpu[g] += report["cpu"]
             # Collect sends in canonical group order so the pending

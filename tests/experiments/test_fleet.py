@@ -141,3 +141,45 @@ def test_fleet_rejects_degenerate_parameters():
         run_fleet(sites=0)
     with pytest.raises(SimulationError):
         run_fleet(sessions=0)
+
+
+# -- adaptive windows (regression guard wired into `make check`) ---------------
+
+
+def _strip_rounds(text):
+    """A fleet render minus the one row adaptive scheduling may change."""
+    return "\n".join(line for line in text.splitlines()
+                     if "rounds" not in line)
+
+
+def test_adaptive_windows_reduce_fleet_rounds(runs):
+    """The regression guard: adaptive windows must never cost rounds,
+    and on the fleet's forecastable announce schedule they must win
+    some — a regression to the fixed round count fails here."""
+    fixed = run_fleet(sites=4, sessions=2, seed=42, adaptive=False)
+    adaptive = runs[1]
+    assert adaptive.run.rounds < fixed.run.rounds
+    # Everything except the reported round count is byte-identical:
+    # window *sizes* changed, delivered stamps and artifacts did not.
+    assert _strip_rounds(adaptive.render()) == _strip_rounds(fixed.render())
+    assert adaptive.run.end_time == fixed.run.end_time
+    assert adaptive.run.messages_delivered == fixed.run.messages_delivered
+    assert adaptive.merged_metrics().to_json() \
+        == fixed.merged_metrics().to_json()
+
+
+def test_adaptive_rounds_placement_invariant(runs):
+    """Adaptive scheduling stays deterministic: the grown windows are
+    computed from reported promises, not from worker placement."""
+    assert runs[1].run.rounds == runs[2].run.rounds == runs[4].run.rounds
+    assert runs[1].run.adaptive and runs[4].run.adaptive
+
+
+def test_cli_fixed_windows_flag(capsys):
+    outputs = {}
+    for flag in ((), ("--fixed-windows",)):
+        assert main(["fleet", "--sites", "3", "--sessions", "1",
+                     "--seed", "42"] + list(flag)) == 0
+        outputs[flag] = capsys.readouterr().out
+    adaptive, fixed = outputs[()], outputs[("--fixed-windows",)]
+    assert _strip_rounds(adaptive) == _strip_rounds(fixed)

@@ -192,3 +192,70 @@ def test_site_lookaheads_returns_full_symmetric_matrix():
     # The copy is detached: mutating it must not poison the cache.
     matrix[("uf", "nw")] = 0.0
     assert net.min_latency("uf", "nw") == pytest.approx(0.032)
+
+
+# -- partition-level lookaheads (host and custom shard models) ----------------
+
+
+def test_host_lookaheads_cover_every_host_pair():
+    net = build_three_sites(Simulation())
+    matrix = net.host_lookaheads()
+    hosts = sorted(net.hosts)
+    assert set(matrix) == {(a, b) for a in hosts for b in hosts if a != b}
+    for (a, b), value in matrix.items():
+        assert value == net.latency(a, b)  # singleton groups: exact
+
+
+def test_host_lookaheads_tighter_than_site_for_lan_pairs():
+    """Same-site host pairs get LAN latencies — boundaries the site
+    model cannot even express (intra-site is never a site boundary)."""
+    net = build_three_sites(Simulation())
+    matrix = net.host_lookaheads()
+    assert matrix[("uf-h0", "uf-h1")] == pytest.approx(0.003)
+    # Cross-site entries can never undercut the site matrix.
+    for (a, b), value in matrix.items():
+        site_a = net.site_of(a)
+        site_b = net.site_of(b)
+        if site_a != site_b:
+            assert value >= net.min_latency(site_a, site_b)
+
+
+def test_partition_lookaheads_custom_grouping():
+    net = build_three_sites(Simulation())
+    # Pair up uf+nw against anl; leave anl-h1 out of the partition.
+    partition = {"uf-h0": "west", "uf-h1": "west", "nw-h0": "west",
+                 "nw-h1": "west", "anl-h0": "east"}
+    matrix = net.partition_lookaheads(partition)
+    assert set(matrix) == {("east", "west"), ("west", "east")}
+    expected = min(net.latency(a, "anl-h0")
+                   for a in ("uf-h0", "uf-h1", "nw-h0", "nw-h1"))
+    assert matrix[("west", "east")] == expected
+    assert matrix[("east", "west")] == expected
+
+
+def test_partition_lookaheads_site_partition_matches_site_matrix():
+    net = build_three_sites(Simulation())
+    partition = {name: net.site_of(name) for name in net.hosts}
+    assert net.partition_lookaheads(partition) == net.site_lookaheads()
+
+
+def test_partition_lookaheads_rejects_unknown_host():
+    net = build_three_sites(Simulation())
+    with pytest.raises(SimulationError):
+        net.partition_lookaheads({"ghost": "g"})
+
+
+def test_partition_lookaheads_disconnected_groups_are_infinite():
+    sim = Simulation()
+    net = Network(sim)
+    net.add_host("a", site="left")
+    net.add_host("b", site="right")  # no link
+    matrix = net.partition_lookaheads({"a": "a", "b": "b"})
+    assert matrix[("a", "b")] == float("inf")
+
+
+def test_site_of_reports_hosts_and_none_for_routers():
+    net = build_three_sites(Simulation())
+    assert net.site_of("uf-h0") == "uf"
+    assert net.site_of("backbone") is None
+    assert net.site_of("ghost") is None

@@ -136,3 +136,63 @@ def test_zero_remainder_boundary_fires_after_local_same_instant_event():
                            "messages": [boundary]})
     assert log == [("local", 2.0), ("msg", 2.0)]
     assert report["now"] == 2.0
+
+
+def _observe_with_horizons(messages, horizons):
+    """Like :func:`_observe`, but the pre-delivery rounds follow an
+    explicit window schedule (one round per horizon, messages split
+    evenly), modelling coarser or finer shard plans."""
+    world = ShardWorld(Simulation(), "dest", {})
+    log = []
+    world.on_message("ch", lambda w, m: log.append(
+        (w.sim.now, m.send_time, m.sender, m.seq, m.payload)))
+    kernel = ShardKernel(world)
+    early = [m for m in messages if m.deliver_time <= min(horizons or
+                                                          [0.0])]
+    late = [m for m in messages if m not in early]
+    kernel.round({"horizon": min(horizons or [float("inf")]),
+                  "messages": early})
+    for horizon in horizons[1:]:
+        kernel.round({"horizon": horizon, "messages": []})
+    kernel.round({"horizon": float("inf"), "messages": late})
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=message_specs(), data=st.data())
+def test_observation_invariant_to_partition_window_schedule(specs, data):
+    """Site-level plans run few wide windows; host-level plans run many
+    tight ones (LAN lookaheads) — and adaptive plans widen windows from
+    forecasts.  The observation log must not notice: delivery order is
+    a pure function of the stamps, whatever window grid executed them.
+
+    All stamps are >= 1.0, so any monotone schedule below that is a
+    legal prefix for an empty-delivery march."""
+    messages = _make_messages(specs)
+    site_like = _observe_with_horizons(messages, [0.9])
+    host_like = _observe_with_horizons(
+        messages, [0.1 * k for k in range(1, 10)])
+    adaptive_like = _observe_with_horizons(
+        messages, data.draw(st.lists(
+            st.floats(min_value=0.05, max_value=0.95),
+            min_size=1, max_size=6).map(sorted)))
+    assert site_like == host_like == adaptive_like
+    assert [m.payload for m in deliver_order(messages)] \
+        == [entry[-1] for entry in site_like]
+
+
+def test_host_partition_plan_windows_deliver_like_site_plan():
+    """One concrete end-to-end pin: the same stamped set through a
+    2-round site-style schedule and an 8-round host-style schedule."""
+    messages = [
+        ShardMessage("dest", "ch", "first", 1.0, 0.5, "n1", 0),
+        ShardMessage("dest", "ch", "second", 1.0, 0.5, "n1", 1),
+        ShardMessage("dest", "ch", "cross", 1.25, 0.75, "n2", 0),
+        ShardMessage("dest", "ch", "late", 2.5, 2.0, "n3", 0),
+    ]
+    coarse = _observe_with_horizons(messages, [0.9])
+    fine = _observe_with_horizons(messages,
+                                  [0.1 + 0.1 * k for k in range(8)])
+    assert coarse == fine
+    assert [entry[-1] for entry in coarse] == ["first", "second",
+                                               "cross", "late"]

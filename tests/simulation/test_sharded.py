@@ -291,3 +291,140 @@ def test_round_robin_assignment_is_canonical():
     plan = ShardPlan.uniform(["a", "b", "c", "d", "e"], 0.1)
     engine = ShardedSimulation(build_silent_world, plan, shards=2)
     assert engine._assignment() == [["a", "c", "e"], ["b", "d"]]
+
+
+# -- adaptive windows (earliest-cross-send forecasts) -------------------------
+
+
+#: The forecast scenario's announce instants (known to "a" in advance).
+_FORECAST_SENDS = (1.0, 2.0)
+
+
+def build_forecast_world(group, lookaheads, ticks=40, step=0.05,
+                         promise=True):
+    """'a' announces at instants it can forecast; 'b' is dense with
+    internal work, never sends, and logs what it receives."""
+    sim = Simulation(seed=_SEEDS[group])
+    world = ShardWorld(sim, group, lookaheads)
+    log = []
+    for k in range(1, ticks + 1):  # both shards busy with local events
+        sim.call_at(step * k, lambda _sim: None)
+    if group == "a":
+        if promise:
+            world.promise_no_send_before(_FORECAST_SENDS[0])
+
+        def announce(index):
+            def fire(_sim):
+                world.send("b", "tok", index, latency=0.1)
+                if index + 1 < len(_FORECAST_SENDS):
+                    if promise:
+                        world.promise_no_send_before(
+                            _FORECAST_SENDS[index + 1])
+                else:
+                    world.close_outbound()
+            return fire
+
+        for i, when in enumerate(_FORECAST_SENDS):
+            sim.call_at(when, announce(i))
+    else:
+        if promise:
+            # Open but forecast-silent: the adaptive coordinator treats
+            # this like a close while the channel stays usable.
+            world.promise_no_send_before(float("inf"))
+        world.on_message("tok",
+                         lambda w, m: log.append((w.sim.now, m.payload)))
+    world.collect = lambda w: list(log)
+    return world
+
+
+def _run_forecast(adaptive, shards=1, **kwargs):
+    plan = ShardPlan.uniform(["a", "b"], 0.1)
+    engine = ShardedSimulation(build_forecast_world, plan, shards=shards,
+                               kwargs=kwargs, adaptive=adaptive)
+    return engine.run()
+
+
+def test_promise_is_monotone_and_binding():
+    world = ShardWorld(Simulation(), "a", {"b": 0.5})
+    world.promise_no_send_before(2.0)
+    world.promise_no_send_before(1.0)  # never retreats
+    assert world.send_promise == 2.0
+    with pytest.raises(ShardError):
+        world.send("b", "ch", None, latency=0.5)  # now=0 < promise
+    # A past promise is inert: sim.now == 0 >= 0.0.
+    fresh = ShardWorld(Simulation(), "a", {"b": 0.5})
+    fresh.promise_no_send_before(0.0)
+    assert fresh.send("b", "ch", "ok", latency=0.5).seq == 0
+
+
+def test_status_and_round_report_the_promise():
+    sim = Simulation()
+    world = ShardWorld(sim, "a", {})
+    world.promise_no_send_before(3.5)
+    kernel = ShardKernel(world)
+    assert kernel.status()["promise"] == 3.5
+    report = kernel.round({"horizon": 1.0, "messages": []})
+    assert report["promise"] == 3.5
+
+
+def test_adaptive_windows_cut_rounds_with_identical_artifacts():
+    fixed = _run_forecast(adaptive=False)
+    adaptive = _run_forecast(adaptive=True)
+    # Same run, bit for bit: deliveries, end time, per-shard events.
+    expected = [(1.1, 0), (2.1, 1)]
+    for result in (fixed, adaptive):
+        assert result.data("a") == []
+        assert result.data("b") == expected
+        assert result.end_time == fixed.end_time
+        assert result.results["b"]["events"] \
+            == fixed.results["b"]["events"]
+    # The whole point: forecasts collapse the lockstep window march.
+    assert adaptive.rounds < fixed.rounds
+    assert fixed.rounds > 10  # the fixed schedule really is lockstep
+
+
+def test_adaptive_run_identical_across_shard_counts():
+    results = {shards: _run_forecast(adaptive=True, shards=shards)
+               for shards in (1, 2)}
+    assert results[1].data("b") == results[2].data("b")
+    assert results[1].rounds == results[2].rounds
+    assert results[1].end_time == results[2].end_time
+
+
+def test_adaptive_without_promises_matches_fixed_schedule():
+    """Worlds that never forecast run the exact fixed round count:
+    adaptive mode only acts on explicit promises."""
+    fixed = _run_forecast(adaptive=False, promise=False)
+    adaptive = _run_forecast(adaptive=True, promise=False)
+    assert adaptive.rounds == fixed.rounds
+    assert adaptive.data("b") == fixed.data("b")
+
+
+def test_broken_promise_is_an_error():
+    sim = Simulation()
+    world = ShardWorld(sim, "a", {"b": 0.5})
+    world.promise_no_send_before(5.0)
+
+    def early(_sim):
+        world.send("b", "ch", None, latency=0.5)
+
+    sim.call_at(1.0, early)
+    kernel = ShardKernel(world)
+    with pytest.raises(ShardError, match="breaking its promise"):
+        kernel.round({"horizon": 2.0, "messages": []})
+
+
+# -- non-decomposable notices -------------------------------------------------
+
+
+def test_single_group_shards_notice_and_strict(capsys):
+    assert single_group_shards(4, "one kernel") == 1
+    err = capsys.readouterr().err
+    assert "non-decomposable world (one kernel)" in err
+    assert "--shards 4" in err
+    assert single_group_shards(1, "one kernel") == 1
+    assert capsys.readouterr().err == ""  # no notice for the no-op case
+    with pytest.raises(ShardError, match="non-decomposable"):
+        single_group_shards(2, strict=True)
+    # A ShardError is a ValueError: strict callers can catch it as one.
+    assert issubclass(ShardError, ValueError)
